@@ -1,0 +1,35 @@
+//! Baseline hardware models for the PointAcc evaluation: server and edge
+//! general-purpose platforms (Fig. 6/13/14), the Mesorasi accelerator
+//! (Fig. 15/16) and alternative specialized engines (hash-table kernel
+//! mapping, quick-select top-k) for the §4.1 ablations.
+//!
+//! All models consume the same [`pointacc_nn::NetworkTrace`] the
+//! accelerator replays, so comparisons are workload-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use pointacc_baselines::Platform;
+//! use pointacc_nn::{zoo, ExecMode, Executor};
+//! use pointacc_geom::{Point3, PointSet};
+//!
+//! let pts: PointSet = (0..128)
+//!     .map(|i| Point3::new((i as f32).sin(), (i as f32).cos(), 0.0))
+//!     .collect();
+//! let trace = Executor::new(ExecMode::TraceOnly, 0).run(&zoo::pointnet(), &pts).trace;
+//! let gpu = Platform::rtx_2080ti().run(&trace);
+//! println!("GPU: {} ({} J)", gpu.total, gpu.energy_j);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engines;
+mod mesorasi;
+mod platform;
+mod report;
+
+pub use engines::{HashKernelMapEngine, QuickSelectTopK};
+pub use mesorasi::{delayed_aggregation_trace, Mesorasi};
+pub use platform::Platform;
+pub use report::{PlatformReport, Seconds};

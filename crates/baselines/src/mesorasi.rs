@@ -1,0 +1,187 @@
+//! Mesorasi (MICRO 2020) — the prior point cloud accelerator the paper
+//! compares against (Fig. 15/16, Table 3).
+//!
+//! Mesorasi's *delayed aggregation* rewrites PointNet++-style layers so
+//! the shared MLP runs on the **unique input points** instead of the
+//! gathered `n_out × k` neighborhood rows; the aggregation unit (AU) then
+//! max-reduces MLP outputs along the maps. This only works when every
+//! neighbor shares the same weight — SparseConv-style per-offset weights
+//! are unsupported (paper §5.2.2), which is exactly the limitation
+//! Fig. 16 exploits.
+
+use pointacc_nn::{ComputeKind, MappingOp, NetworkTrace};
+use pointacc_sim::{DramChannel, DramKind, SystolicArray};
+
+use crate::report::{PlatformReport, Seconds};
+
+/// The Mesorasi hardware model (Table 3: 16×16 NPU, 1 GHz, LPDDR3-1600,
+/// 1624 KB SRAM).
+#[derive(Clone, Debug)]
+pub struct Mesorasi {
+    npu: SystolicArray,
+    freq_hz: f64,
+    dram: DramKind,
+    power_w: f64,
+}
+
+impl Default for Mesorasi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mesorasi {
+    /// Creates the Table 3 configuration.
+    pub fn new() -> Self {
+        Mesorasi {
+            npu: SystolicArray::new(16, 16),
+            freq_hz: 1.0e9,
+            dram: DramKind::Lpddr3_1600,
+            power_w: 2.0,
+        }
+    }
+
+    /// Whether Mesorasi can execute this network: delayed aggregation
+    /// requires shared weights per neighborhood, so any SparseConv layer
+    /// (independent per-offset weights) disqualifies the network.
+    pub fn supports(trace: &NetworkTrace) -> bool {
+        !trace
+            .layers
+            .iter()
+            .any(|l| l.compute == ComputeKind::SparseConv)
+    }
+
+    /// Runs a supported trace with delayed aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains SparseConv layers (use
+    /// [`Mesorasi::supports`] first).
+    pub fn run(&self, trace: &NetworkTrace) -> PlatformReport {
+        assert!(
+            Self::supports(trace),
+            "Mesorasi does not support independent per-neighbor weights (SparseConv)"
+        );
+        let mut matmul_cycles: u64 = 0;
+        let mut mapping_s = 0.0f64;
+        let mut dram = DramChannel::new(self.dram);
+        let elem = 2u64;
+        for layer in &trace.layers {
+            // Delayed aggregation: grouped MLP rows collapse to the
+            // unique input points; the AU applies the max along maps
+            // afterwards (one reduction per map, overlapped with the
+            // NPU).
+            let rows = match layer.compute {
+                ComputeKind::Grouped => layer.n_in,
+                _ => layer.n_out,
+            };
+            matmul_cycles += self
+                .npu
+                .matmul_cycles(rows, layer.in_ch, layer.out_ch)
+                .get();
+            dram.read(rows as u64 * layer.in_ch as u64 * elem);
+            dram.read(layer.weight_bytes(elem as usize));
+            dram.write(rows as u64 * layer.out_ch as u64 * elem);
+            // Mesorasi accelerates aggregation, not neighbor search:
+            // mapping operations run on the host mobile CPU (the paper's
+            // §5.2.2 comparison point), with FPS serialized per sample.
+            for op in &layer.mapping {
+                let serial = match *op {
+                    MappingOp::Fps { n_out, .. } => n_out as f64 * 8e-6,
+                    _ => 0.0,
+                };
+                mapping_s += serial + op.scalar_ops() as f64 / 0.15e9;
+            }
+        }
+        let matmul_s = matmul_cycles as f64 / self.freq_hz;
+        let datamove_s = dram.transfer_seconds();
+        let total = matmul_s + mapping_s + datamove_s;
+        PlatformReport {
+            platform: "Mesorasi".into(),
+            network: trace.network.clone(),
+            mapping: Seconds(mapping_s),
+            matmul: Seconds(matmul_s),
+            datamove: Seconds(datamove_s),
+            total: Seconds(total),
+            energy_j: total * self.power_w + dram.energy().to_joules(),
+        }
+    }
+
+    /// Mesorasi-SW: the delayed-aggregation *networks* without the
+    /// dedicated hardware, running on a general-purpose platform. The
+    /// MLP savings apply but everything else pays the platform's costs.
+    pub fn run_software(
+        platform: &crate::Platform,
+        trace: &NetworkTrace,
+    ) -> PlatformReport {
+        let reduced = delayed_aggregation_trace(trace);
+        let mut report = platform.run(&reduced);
+        report.platform = format!("Mesorasi-SW on {}", platform.name);
+        report
+    }
+}
+
+/// Rewrites a PointNet++-style trace with delayed aggregation: grouped
+/// MLP layers shrink to the unique-point row count.
+pub fn delayed_aggregation_trace(trace: &NetworkTrace) -> NetworkTrace {
+    let mut out = trace.clone();
+    for l in &mut out.layers {
+        if l.compute == ComputeKind::Grouped {
+            l.n_out = l.n_in;
+        } else if l.compute == ComputeKind::Dense && l.pool_group.is_some() {
+            // Trailing shared-MLP layers before the pool also shrink.
+            l.n_out = l.n_in.min(l.n_out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc_geom::{Point3, PointSet};
+    use pointacc_nn::{zoo, ExecMode, Executor};
+
+    fn trace(voxel: bool) -> NetworkTrace {
+        let pts: PointSet = (0..400)
+            .map(|i| {
+                let t = i as f32;
+                Point3::new((t * 0.37).sin() * 2.0, (t * 0.61).cos() * 2.0, (t * 0.13).sin())
+            })
+            .collect();
+        let net = if voxel { zoo::mini_minkunet() } else { zoo::pointnet_pp_classification() };
+        Executor::new(ExecMode::TraceOnly, 1).run(&net, &pts).trace
+    }
+
+    #[test]
+    fn supports_pointnet_pp_not_sparseconv() {
+        assert!(Mesorasi::supports(&trace(false)));
+        assert!(!Mesorasi::supports(&trace(true)));
+    }
+
+    #[test]
+    fn delayed_aggregation_reduces_mlp_rows() {
+        let t = trace(false);
+        let reduced = delayed_aggregation_trace(&t);
+        assert!(
+            reduced.total_macs() < t.total_macs(),
+            "delayed aggregation must reduce MACs: {} vs {}",
+            reduced.total_macs(),
+            t.total_macs()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn sparseconv_network_panics() {
+        let _ = Mesorasi::new().run(&trace(true));
+    }
+
+    #[test]
+    fn hardware_beats_software_on_nano() {
+        let t = trace(false);
+        let hw = Mesorasi::new().run(&t);
+        let sw = Mesorasi::run_software(&crate::Platform::jetson_nano(), &t);
+        assert!(hw.total.0 < sw.total.0, "HW {} vs SW {}", hw.total.0, sw.total.0);
+    }
+}

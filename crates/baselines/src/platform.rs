@@ -1,0 +1,308 @@
+//! Analytic models of the general-purpose platforms the paper compares
+//! against (Fig. 6, 13, 14).
+//!
+//! Each platform is a small roofline-style model over the same
+//! [`NetworkTrace`] the accelerator replays. The model exposes exactly
+//! the mechanisms the paper identifies: low matrix utilization on
+//! fragmented point-cloud matmuls, per-step launch overhead that
+//! dominates iterative mapping operations (FPS launches one kernel per
+//! sampled point), Gather-MatMul-Scatter memory traffic, and — for the
+//! TPU — host round trips because the accelerator cannot run mapping
+//! operations at all.
+
+use pointacc_nn::{ComputeKind, LayerTrace, MappingOp, NetworkTrace};
+
+use crate::report::{PlatformReport, Seconds};
+
+/// An analytic platform model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Platform {
+    /// Platform name as shown in the figures.
+    pub name: &'static str,
+    /// Peak dense matmul throughput, GFLOP/s (2 × MACs).
+    pub dense_gflops: f64,
+    /// Achieved fraction of peak on point-cloud matmuls (fragmented
+    /// per-offset GEMMs, gather/scatter interleaved).
+    pub sparse_utilization: f64,
+    /// Sustained memory bandwidth, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Mapping-operation scalar throughput, Gop/s (distance / hash-probe
+    /// evaluations).
+    pub mapping_gops: f64,
+    /// Per-layer framework dispatch overhead (kernel launches + host
+    /// bookkeeping for one operator), microseconds.
+    pub launch_overhead_us: f64,
+    /// Per-serial-step launch overhead inside iterative mapping
+    /// operations (e.g. one FPS iteration), microseconds.
+    pub step_overhead_us: f64,
+    /// Host↔accelerator link bandwidth for offload platforms, GB/s
+    /// (`None` when compute and mapping share one memory space).
+    pub host_link_gbps: Option<f64>,
+    /// Average board power under load, watts.
+    pub power_w: f64,
+}
+
+impl Platform {
+    /// NVIDIA RTX 2080 Ti (server GPU).
+    pub fn rtx_2080ti() -> Self {
+        Platform {
+            name: "RTX 2080Ti",
+            dense_gflops: 13_450.0,
+            sparse_utilization: 0.20,
+            mem_bw_gbps: 616.0,
+            mapping_gops: 3.0,
+            launch_overhead_us: 20.0,
+            step_overhead_us: 1.5,
+            host_link_gbps: None,
+            power_w: 250.0,
+        }
+    }
+
+    /// Intel Xeon Gold 6130 (server CPU).
+    pub fn xeon_6130() -> Self {
+        Platform {
+            name: "Xeon Gold 6130",
+            dense_gflops: 1_300.0,
+            sparse_utilization: 0.03,
+            mem_bw_gbps: 120.0,
+            mapping_gops: 0.25,
+            launch_overhead_us: 200.0,
+            step_overhead_us: 0.3,
+            host_link_gbps: None,
+            power_w: 125.0,
+        }
+    }
+
+    /// Xeon Skylake host + TPU v3: matmuls on the TPU, but every mapping
+    /// operation requires moving data back to the host, computing there,
+    /// and shipping gathered matrices in (paper §3, Bottleneck I).
+    pub fn xeon_tpu_v3() -> Self {
+        Platform {
+            name: "Xeon + TPUv3",
+            dense_gflops: 61_000.0,
+            sparse_utilization: 0.03,
+            mem_bw_gbps: 900.0,
+            mapping_gops: 0.25,
+            launch_overhead_us: 100.0,
+            step_overhead_us: 30.0,
+            host_link_gbps: Some(12.0),
+            power_w: 280.0,
+        }
+    }
+
+    /// NVIDIA Jetson Xavier NX (edge GPU).
+    pub fn jetson_xavier_nx() -> Self {
+        Platform {
+            name: "Jetson Xavier NX",
+            dense_gflops: 1_700.0,
+            sparse_utilization: 0.25,
+            mem_bw_gbps: 51.0,
+            mapping_gops: 1.0,
+            launch_overhead_us: 40.0,
+            step_overhead_us: 4.0,
+            host_link_gbps: None,
+            power_w: 15.0,
+        }
+    }
+
+    /// NVIDIA Jetson Nano (edge GPU).
+    pub fn jetson_nano() -> Self {
+        Platform {
+            name: "Jetson Nano",
+            dense_gflops: 472.0,
+            sparse_utilization: 0.25,
+            mem_bw_gbps: 25.6,
+            mapping_gops: 0.4,
+            launch_overhead_us: 60.0,
+            step_overhead_us: 8.0,
+            host_link_gbps: None,
+            power_w: 10.0,
+        }
+    }
+
+    /// Raspberry Pi 4 Model B (edge CPU).
+    pub fn raspberry_pi_4b() -> Self {
+        Platform {
+            name: "Raspberry Pi 4B",
+            dense_gflops: 12.0,
+            sparse_utilization: 0.30,
+            mem_bw_gbps: 4.0,
+            mapping_gops: 0.04,
+            launch_overhead_us: 2.0,
+            step_overhead_us: 0.5,
+            host_link_gbps: None,
+            power_w: 6.0,
+        }
+    }
+
+    /// Runs a trace, returning the latency/energy report with the
+    /// mapping / matmul / data-movement breakdown of paper Fig. 6.
+    pub fn run(&self, trace: &NetworkTrace) -> PlatformReport {
+        let mut mapping = 0.0f64;
+        let mut matmul = 0.0f64;
+        let mut datamove = 0.0f64;
+        for layer in &trace.layers {
+            let (m, x, d) = self.layer_times(layer);
+            mapping += m;
+            matmul += x;
+            datamove += d;
+        }
+        let total = mapping + matmul + datamove;
+        PlatformReport {
+            platform: self.name.to_string(),
+            network: trace.network.clone(),
+            mapping: Seconds(mapping),
+            matmul: Seconds(matmul),
+            datamove: Seconds(datamove),
+            total: Seconds(total),
+            energy_j: total * self.power_w,
+        }
+    }
+
+    /// `(mapping, matmul, data-movement)` seconds of one layer.
+    pub fn layer_times(&self, layer: &LayerTrace) -> (f64, f64, f64) {
+        let launch = self.launch_overhead_us * 1e-6;
+        let step = self.step_overhead_us * 1e-6;
+        // --- Mapping operations ---
+        let mut mapping = 0.0;
+        for op in &layer.mapping {
+            let steps = serial_steps(op) as f64;
+            let ops = op.scalar_ops() as f64;
+            // Feature-space kNN (DGCNN) compiles to pairwise-distance
+            // GEMMs, which general-purpose hardware runs at matmul rates
+            // rather than scalar mapping rates.
+            let rate = match op {
+                pointacc_nn::MappingOp::KnnFeature { .. } => {
+                    self.dense_gflops * 1e9 * (self.sparse_utilization * 2.0).min(0.5)
+                }
+                _ => self.mapping_gops * 1e9,
+            };
+            mapping += steps * step + 2.0 * ops / rate;
+        }
+
+        // --- Matrix computation ---
+        let flops = 2.0 * layer.macs() as f64;
+        let util = match layer.compute {
+            // Dense point-wise layers reach decent utilization even on
+            // general-purpose hardware.
+            ComputeKind::Dense => (self.sparse_utilization * 4.0).min(0.6),
+            _ => self.sparse_utilization,
+        };
+        let mut matmul = if flops > 0.0 {
+            flops / (self.dense_gflops * 1e9 * util) + launch
+        } else {
+            0.0
+        };
+
+        // --- Data movement: Gather-MatMul-Scatter traffic ---
+        let elem = 4u64; // fp32 on general-purpose platforms
+        let bytes = gather_scatter_bytes(layer, elem);
+        let mut datamove = bytes as f64 / (self.mem_bw_gbps * 1e9);
+
+        // Offload platforms (TPU) round-trip through the host for every
+        // mapping + gather (paper: 60–90 % of runtime).
+        if let Some(link) = self.host_link_gbps {
+            let roundtrip = 2.0 * layer.input_feature_bytes(elem as usize) as f64
+                / (link * 1e9);
+            datamove += roundtrip + launch;
+            // Small matrices are padded to the TPU's systolic tiles.
+            matmul *= 1.5;
+        }
+        (mapping, matmul, datamove)
+    }
+}
+
+/// Serial dependency steps of a mapping operation — each is a separate
+/// kernel launch on GPU-like platforms. FPS is the pathological case: one
+/// dependent step per sampled point.
+fn serial_steps(op: &MappingOp) -> u64 {
+    match *op {
+        MappingOp::Fps { n_out, .. } => n_out as u64,
+        MappingOp::Quantize { .. } => 2,
+        MappingOp::KernelMap { kernel_volume, .. } => kernel_volume as u64,
+        MappingOp::Knn { .. } | MappingOp::BallQuery { .. } | MappingOp::KnnFeature { .. } => 3,
+    }
+}
+
+/// DRAM bytes of the Gather-MatMul-Scatter flow on a general-purpose
+/// platform (explicit gather, contiguous matmul, scatter-aggregate).
+fn gather_scatter_bytes(layer: &LayerTrace, elem: u64) -> u64 {
+    let maps = layer.maps.as_ref().map(|m| m.len() as u64);
+    let ic = layer.in_ch as u64;
+    let oc = layer.out_ch as u64;
+    match layer.compute {
+        ComputeKind::SparseConv
+        | ComputeKind::Grouped
+        | ComputeKind::Interpolate => {
+            let n = maps.unwrap_or(layer.n_out as u64);
+            // gather read+write, matmul read+write, scatter read+write.
+            n * ic * elem * 3 + n * oc * elem * 2 + layer.n_out as u64 * oc * elem
+        }
+        ComputeKind::Dense => {
+            (layer.n_in as u64 * ic + layer.n_out as u64 * oc) * elem
+        }
+        ComputeKind::Pool => layer.n_in as u64 * ic * elem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc_geom::{Point3, PointSet};
+    use pointacc_nn::{zoo, ExecMode, Executor};
+
+    fn trace() -> NetworkTrace {
+        let pts: PointSet = (0..512)
+            .map(|i| {
+                let t = i as f32;
+                Point3::new((t * 0.3).sin() * 2.0, (t * 0.9).cos() * 2.0, (t * 0.07).sin())
+            })
+            .collect();
+        Executor::new(ExecMode::TraceOnly, 1)
+            .run(&zoo::pointnet_pp_classification(), &pts)
+            .trace
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_matmul() {
+        let t = trace();
+        let gpu = Platform::rtx_2080ti().run(&t);
+        let cpu = Platform::xeon_6130().run(&t);
+        assert!(gpu.total.0 < cpu.total.0);
+        assert!(gpu.matmul.0 < cpu.matmul.0);
+    }
+
+    #[test]
+    fn pointnet_pp_is_mapping_bound_on_gpu() {
+        // Paper Fig. 6 left: PointNet++-based networks spend > 50 % of
+        // runtime on mapping operations on general-purpose platforms.
+        let report = Platform::rtx_2080ti().run(&trace());
+        let frac = report.mapping.0 / report.total.0;
+        assert!(frac > 0.4, "mapping fraction {frac} should dominate");
+    }
+
+    #[test]
+    fn tpu_pays_host_roundtrips() {
+        let t = trace();
+        let tpu = Platform::xeon_tpu_v3().run(&t);
+        // Paper §3: data movement takes 60–90 % of runtime on CPU+TPU.
+        let frac = (tpu.datamove.0 + tpu.mapping.0) / tpu.total.0;
+        assert!(frac > 0.6, "offload overheads {frac} should dominate");
+    }
+
+    #[test]
+    fn edge_devices_rank_correctly() {
+        let t = trace();
+        let nx = Platform::jetson_xavier_nx().run(&t);
+        let nano = Platform::jetson_nano().run(&t);
+        let rpi = Platform::raspberry_pi_4b().run(&t);
+        assert!(nx.total.0 < nano.total.0);
+        assert!(nano.total.0 < rpi.total.0);
+    }
+
+    #[test]
+    fn energy_is_latency_times_power() {
+        let report = Platform::jetson_nano().run(&trace());
+        assert!((report.energy_j - report.total.0 * 10.0).abs() < 1e-9);
+    }
+}

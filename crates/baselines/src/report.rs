@@ -1,0 +1,68 @@
+//! Shared report types for baseline platform models.
+
+use std::fmt;
+
+/// Seconds newtype for latency components.
+#[derive(Copy, Clone, PartialEq, PartialOrd, Debug, Default)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// Milliseconds.
+    pub fn to_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.to_millis())
+    }
+}
+
+/// Latency/energy report of a baseline platform running one network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformReport {
+    /// Platform name.
+    pub platform: String,
+    /// Network name.
+    pub network: String,
+    /// Time in mapping operations.
+    pub mapping: Seconds,
+    /// Time in matrix computation.
+    pub matmul: Seconds,
+    /// Time in data movement (gather / scatter / host transfers).
+    pub datamove: Seconds,
+    /// End-to-end latency.
+    pub total: Seconds,
+    /// Energy in joules (`latency × average power`).
+    pub energy_j: f64,
+}
+
+impl PlatformReport {
+    /// Fractional breakdown `(mapping, matmul, datamove)` (paper Fig. 6).
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let t = self.total.0.max(f64::MIN_POSITIVE);
+        (self.mapping.0 / t, self.matmul.0 / t, self.datamove.0 / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let r = PlatformReport {
+            platform: "p".into(),
+            network: "n".into(),
+            mapping: Seconds(1.0),
+            matmul: Seconds(2.0),
+            datamove: Seconds(1.0),
+            total: Seconds(4.0),
+            energy_j: 8.0,
+        };
+        let (m, x, d) = r.breakdown();
+        assert!((m + x + d - 1.0).abs() < 1e-12);
+        assert_eq!(r.total.to_millis(), 4000.0);
+    }
+}

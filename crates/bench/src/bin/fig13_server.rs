@@ -1,0 +1,52 @@
+//! Fig. 13: PointAcc speedup and energy savings over server platforms
+//! (RTX 2080Ti, Xeon + TPUv3, Xeon Gold 6130) on the 8 benchmarks.
+
+use pointacc::{Accelerator, PointAccConfig};
+use pointacc_bench::{benchmark_trace, geomean, paper, print_table};
+use pointacc_baselines::Platform;
+use pointacc_nn::zoo;
+
+fn main() {
+    let acc = Accelerator::new(PointAccConfig::full());
+    let platforms =
+        [Platform::rtx_2080ti(), Platform::xeon_tpu_v3(), Platform::xeon_6130()];
+    let paper_speedups =
+        [paper::FIG13_SPEEDUP_GPU, paper::FIG13_SPEEDUP_TPU, paper::FIG13_SPEEDUP_CPU];
+
+    let mut rows = Vec::new();
+    let mut speeds: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (bi, b) in zoo::benchmarks().iter().enumerate() {
+        let trace = benchmark_trace(b, 42);
+        let report = acc.run(&trace);
+        let acc_ms = report.latency_ms();
+        let acc_j = report.energy().to_joules();
+        let mut row = vec![b.notation.to_string(), format!("{:.2}", acc_ms)];
+        for (pi, p) in platforms.iter().enumerate() {
+            let r = p.run(&trace);
+            let speed = r.total.to_millis() / acc_ms;
+            let energy = r.energy_j / acc_j;
+            speeds[pi].push(speed);
+            energies[pi].push(energy);
+            row.push(format!("{:.1}x (paper {:.1}x)", speed, paper_speedups[pi][bi]));
+        }
+        rows.push(row);
+    }
+    println!("== Fig. 13: Speedup over server platforms ==\n");
+    print_table(
+        &["Network", "PointAcc(ms)", "vs RTX 2080Ti", "vs Xeon+TPUv3", "vs Xeon 6130"],
+        &rows,
+    );
+    println!(
+        "\nGeoMean speedup: GPU {:.1}x (paper 3.7x) | TPU {:.1}x (paper 53x) | CPU {:.1}x (paper 90x)",
+        geomean(&speeds[0]),
+        geomean(&speeds[1]),
+        geomean(&speeds[2])
+    );
+    println!(
+        "GeoMean energy savings: GPU {:.0}x (paper 22x) | TPU {:.0}x (paper 210x) | CPU {:.0}x (paper 176x)",
+        geomean(&energies[0]),
+        geomean(&energies[1]),
+        geomean(&energies[2])
+    );
+}

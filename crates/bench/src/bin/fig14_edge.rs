@@ -1,0 +1,48 @@
+//! Fig. 14: PointAcc.Edge speedup and energy savings over edge devices
+//! (Jetson Xavier NX, Jetson Nano, Raspberry Pi 4B).
+
+use pointacc::{Accelerator, PointAccConfig};
+use pointacc_bench::{benchmark_trace, geomean, paper, print_table};
+use pointacc_baselines::Platform;
+use pointacc_nn::zoo;
+
+fn main() {
+    let acc = Accelerator::new(PointAccConfig::edge());
+    let platforms =
+        [Platform::jetson_xavier_nx(), Platform::jetson_nano(), Platform::raspberry_pi_4b()];
+    let paper_speedups =
+        [paper::FIG14_SPEEDUP_NX, paper::FIG14_SPEEDUP_NANO, paper::FIG14_SPEEDUP_RPI];
+
+    let mut rows = Vec::new();
+    let mut speeds: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (bi, b) in zoo::benchmarks().iter().enumerate() {
+        let trace = benchmark_trace(b, 42);
+        let report = acc.run(&trace);
+        let acc_ms = report.latency_ms();
+        let acc_j = report.energy().to_joules();
+        let mut row = vec![b.notation.to_string(), format!("{:.2}", acc_ms)];
+        for (pi, p) in platforms.iter().enumerate() {
+            let r = p.run(&trace);
+            let speed = r.total.to_millis() / acc_ms;
+            speeds[pi].push(speed);
+            energies[pi].push(r.energy_j / acc_j);
+            row.push(format!("{:.1}x (paper {:.1}x)", speed, paper_speedups[pi][bi]));
+        }
+        rows.push(row);
+    }
+    println!("== Fig. 14: Speedup over edge devices (PointAcc.Edge) ==\n");
+    print_table(&["Network", "Edge(ms)", "vs Jetson NX", "vs Jetson Nano", "vs RPi 4B"], &rows);
+    println!(
+        "\nGeoMean speedup: NX {:.1}x (paper 2.5x) | Nano {:.1}x (paper 9.8x) | RPi {:.0}x (paper 141x)",
+        geomean(&speeds[0]),
+        geomean(&speeds[1]),
+        geomean(&speeds[2])
+    );
+    println!(
+        "GeoMean energy savings: NX {:.1}x (paper 7.8x) | Nano {:.1}x (paper 16x) | RPi {:.0}x (paper 127x)",
+        geomean(&energies[0]),
+        geomean(&energies[1]),
+        geomean(&energies[2])
+    );
+}

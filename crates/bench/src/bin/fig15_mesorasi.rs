@@ -1,0 +1,46 @@
+//! Fig. 15: PointAcc.Edge vs Mesorasi (HW and SW variants) on the
+//! PointNet++-based benchmarks.
+
+use pointacc::{Accelerator, PointAccConfig};
+use pointacc_bench::{benchmark_trace, geomean, paper, print_table};
+use pointacc_baselines::{Mesorasi, Platform};
+use pointacc_nn::zoo;
+
+fn main() {
+    let acc = Accelerator::new(PointAccConfig::edge());
+    let mesorasi = Mesorasi::new();
+    let mut rows = Vec::new();
+    let mut sp_hw = Vec::new();
+    let mut sp_nano = Vec::new();
+    let mut sp_rpi = Vec::new();
+    for b in zoo::benchmarks() {
+        let Some(pi) = paper::FIG15_NETWORKS.iter().position(|n| *n == b.notation) else {
+            continue;
+        };
+        let trace = benchmark_trace(&b, 42);
+        assert!(Mesorasi::supports(&trace), "{} must be PointNet++-based", b.notation);
+        let acc_ms = acc.run(&trace).latency_ms();
+        let hw = mesorasi.run(&trace).total.to_millis() / acc_ms;
+        let nano =
+            Mesorasi::run_software(&Platform::jetson_nano(), &trace).total.to_millis() / acc_ms;
+        let rpi =
+            Mesorasi::run_software(&Platform::raspberry_pi_4b(), &trace).total.to_millis() / acc_ms;
+        sp_hw.push(hw);
+        sp_nano.push(nano);
+        sp_rpi.push(rpi);
+        rows.push(vec![
+            b.notation.to_string(),
+            format!("{:.1}x (paper {:.1}x)", hw, paper::FIG15_SPEEDUP_HW[pi]),
+            format!("{:.1}x (paper {:.0}x)", nano, paper::FIG15_SPEEDUP_SW_NANO[pi]),
+            format!("{:.0}x (paper {:.0}x)", rpi, paper::FIG15_SPEEDUP_SW_RPI[pi]),
+        ]);
+    }
+    println!("== Fig. 15: PointAcc.Edge speedup over Mesorasi ==\n");
+    print_table(&["Network", "vs Mesorasi-HW", "vs SW(Nano)", "vs SW(RPi4)"], &rows);
+    println!(
+        "\nGeoMean: HW {:.1}x (paper 4.3x) | SW-Nano {:.1}x (paper 14x) | SW-RPi {:.0}x (paper 128x)",
+        geomean(&sp_hw),
+        geomean(&sp_nano),
+        geomean(&sp_rpi)
+    );
+}

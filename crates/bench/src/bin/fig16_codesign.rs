@@ -1,0 +1,60 @@
+//! Fig. 16: network/accelerator co-design — Mesorasi running
+//! PointNet++SSG vs PointAcc.Edge running Mini-MinkowskiUNet, same S3DIS
+//! segmentation task. Accuracy (mIoU) is quoted from the paper (no
+//! training in this reproduction); latency is measured on our models.
+
+use pointacc::{Accelerator, PointAccConfig};
+use pointacc_bench::{benchmark_trace, dataset_by_name, paper, print_table, scale};
+use pointacc_baselines::{Mesorasi, Platform};
+use pointacc_nn::{zoo, ExecMode, Executor};
+
+fn main() {
+    // PointNet++SSG on S3DIS for Mesorasi.
+    let pp = zoo::benchmarks()
+        .into_iter()
+        .find(|b| b.notation == "PointNet++(s)")
+        .expect("PointNet++(s) benchmark exists");
+    let pp_trace = benchmark_trace(&pp, 42);
+    let sw_ms = Mesorasi::run_software(&Platform::jetson_nano(), &pp_trace).total.to_millis();
+    let hw_ms = Mesorasi::new().run(&pp_trace).total.to_millis();
+
+    // Mini-MinkowskiUNet on the same room for PointAcc.Edge.
+    let mini = zoo::mini_minkunet();
+    let ds = dataset_by_name("S3DIS");
+    let n = ((mini.default_points() as f64 * scale()) as usize).max(64);
+    let pts = ds.generate(42, n);
+    let mini_trace = Executor::new(ExecMode::TraceOnly, 42).run(&mini, &pts).trace;
+    assert!(!Mesorasi::supports(&mini_trace), "SparseConv must be unsupported on Mesorasi");
+    let mini_ms = Accelerator::new(PointAccConfig::edge()).run(&mini_trace).latency_ms();
+
+    println!("== Fig. 16: Co-design on S3DIS segmentation ==\n");
+    print_table(
+        &["System", "Network", "Latency(ms)", "mIoU (quoted)"],
+        &[
+            vec![
+                "Mesorasi-SW (Nano)".into(),
+                "PointNet++SSG".into(),
+                format!("{sw_ms:.1}"),
+                format!("{:.1}%", paper::FIG16_MIOU_POINTNETPP),
+            ],
+            vec![
+                "Mesorasi-HW".into(),
+                "PointNet++SSG".into(),
+                format!("{hw_ms:.1}"),
+                format!("{:.1}%", paper::FIG16_MIOU_POINTNETPP),
+            ],
+            vec![
+                "PointAcc.Edge".into(),
+                "Mini-MinkowskiUNet".into(),
+                format!("{mini_ms:.2}"),
+                format!("{:.1}%", paper::FIG16_MIOU_MINI_MINK),
+            ],
+        ],
+    );
+    println!(
+        "\nSpeedup over Mesorasi-SW: {:.0}x (paper: >100x); mIoU +{:.1}% (paper: +9.1%)",
+        sw_ms / mini_ms,
+        paper::FIG16_MIOU_MINI_MINK - paper::FIG16_MIOU_POINTNETPP
+    );
+    println!("note: Mesorasi cannot run Mini-MinkowskiUNet at all (independent per-offset weights).");
+}

@@ -1,0 +1,31 @@
+//! Fig. 20: DRAM access reduction from temporal layer fusion on the
+//! PointNet family.
+
+use pointacc::{Accelerator, PointAccConfig, RunOptions};
+use pointacc_bench::{benchmark_trace, paper, print_table};
+use pointacc_nn::zoo;
+
+fn main() {
+    let acc = Accelerator::new(PointAccConfig::full());
+    let mut rows = Vec::new();
+    for b in zoo::benchmarks() {
+        let Some(pi) = paper::FIG20_NETWORKS.iter().position(|n| *n == b.notation) else {
+            continue;
+        };
+        let trace = benchmark_trace(&b, 42);
+        let fused = acc.run(&trace);
+        let unfused = acc.run_with(&trace, RunOptions { fusion: false, ..Default::default() });
+        let reduction = 100.0 * (1.0 - fused.dram_bytes() as f64 / unfused.dram_bytes() as f64);
+        let fused_layers = fused.layers.iter().filter(|l| l.fused).count();
+        rows.push(vec![
+            b.notation.to_string(),
+            format!("{}", unfused.dram_bytes() / 1024),
+            format!("{}", fused.dram_bytes() / 1024),
+            format!("{fused_layers}"),
+            format!("{:.0}% (paper {:.0}%)", reduction, paper::FIG20_REDUCTION_PCT[pi]),
+        ]);
+    }
+    println!("== Fig. 20: DRAM reduction from temporal layer fusion ==\n");
+    print_table(&["Network", "Unfused(KB)", "Fused(KB)", "#FusedLayers", "Reduction"], &rows);
+    println!("\npaper: fusion cuts DRAM access 33-64%; PointNet fuses the most (no downsampling)");
+}

@@ -1,0 +1,55 @@
+//! Fig. 21: latency and energy breakdown of PointAcc on MinkNet(o),
+//! compared with GPU and CPU+TPU.
+
+use pointacc::{Accelerator, PointAccConfig};
+use pointacc_bench::{benchmark_trace, paper, print_table};
+use pointacc_baselines::Platform;
+use pointacc_nn::zoo;
+
+fn main() {
+    let b = zoo::benchmarks()
+        .into_iter()
+        .find(|b| b.notation == "MinkNet(o)")
+        .expect("MinkNet(o) exists");
+    let trace = benchmark_trace(&b, 42);
+
+    println!("== Fig. 21a: latency breakdown on MinkNet(o) ==\n");
+    let mut rows = Vec::new();
+    for p in [Platform::xeon_tpu_v3(), Platform::rtx_2080ti()] {
+        let r = p.run(&trace);
+        let (m, x, d) = r.breakdown();
+        rows.push(vec![
+            r.platform.clone(),
+            format!("{:.1}", r.total.to_millis()),
+            format!("{:.0}%", d * 100.0),
+            format!("{:.0}%", x * 100.0),
+            format!("{:.0}%", m * 100.0),
+        ]);
+    }
+    let acc = Accelerator::new(PointAccConfig::full());
+    let report = acc.run(&trace);
+    let (m, x, d) = report.latency_breakdown();
+    rows.push(vec![
+        "PointAcc".into(),
+        format!("{:.2}", report.latency_ms()),
+        format!("{:.0}%", d * 100.0),
+        format!("{:.0}%", x * 100.0),
+        format!("{:.0}%", m * 100.0),
+    ]);
+    print_table(&["Platform", "Latency(ms)", "DataMove", "MatMul", "Mapping"], &rows);
+
+    println!("\n== Fig. 21b: PointAcc energy breakdown ==\n");
+    let (c, s, dr) = report.energy_breakdown();
+    print_table(
+        &["Component", "Ours", "Paper"],
+        &[
+            vec!["Compute".into(), format!("{:.0}%", c * 100.0), format!("{:.0}%", paper::FIG21_ENERGY[0] * 100.0)],
+            vec!["SRAM".into(), format!("{:.0}%", s * 100.0), format!("{:.0}%", paper::FIG21_ENERGY[1] * 100.0)],
+            vec!["DRAM".into(), format!("{:.0}%", dr * 100.0), format!("{:.0}%", paper::FIG21_ENERGY[2] * 100.0)],
+        ],
+    );
+    println!(
+        "\ntotal energy {:.2} mJ; MatMul dominates latency on PointAcc (paper: mapping+datamove largely overlapped)",
+        report.energy().to_millijoules()
+    );
+}

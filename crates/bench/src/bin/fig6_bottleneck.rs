@@ -1,0 +1,37 @@
+//! Fig. 6: latency breakdown of point cloud networks on general-purpose
+//! platforms — PointNet++(s) on S3DIS (left), MinkowskiUNet on
+//! SemanticKITTI (right).
+
+use pointacc_bench::{benchmark_trace, print_table};
+use pointacc_baselines::Platform;
+use pointacc_nn::zoo;
+
+fn main() {
+    let platforms = [
+        Platform::xeon_6130(),
+        Platform::rtx_2080ti(),
+        Platform::jetson_xavier_nx(), // the paper's "mGPU"
+        Platform::xeon_tpu_v3(),
+    ];
+    for bench in zoo::benchmarks() {
+        if bench.notation != "PointNet++(s)" && bench.notation != "MinkNet(o)" {
+            continue;
+        }
+        println!("\n== Fig. 6: {} on {} ==\n", bench.notation, bench.dataset);
+        let trace = benchmark_trace(&bench, 42);
+        let mut rows = Vec::new();
+        for p in &platforms {
+            let r = p.run(&trace);
+            let (m, x, d) = r.breakdown();
+            rows.push(vec![
+                r.platform.clone(),
+                format!("{:.1}", r.total.to_millis()),
+                format!("{:.0}%", d * 100.0),
+                format!("{:.0}%", m * 100.0),
+                format!("{:.0}%", x * 100.0),
+            ]);
+        }
+        print_table(&["Platform", "Latency(ms)", "DataMove", "Mapping", "MatMul"], &rows);
+    }
+    println!("\npaper: PointNet++-based nets spend >50% on mapping ops; MinkowskiUNet >50% on data movement (CPU/GPU); CPU+TPU 60-90% data movement");
+}

@@ -1,0 +1,26 @@
+//! Table 2: the evaluation benchmarks, with measured workload statistics.
+
+use pointacc_bench::{benchmark_trace, print_table};
+use pointacc_nn::{stats, zoo};
+
+fn main() {
+    println!("== Table 2: Evaluation Benchmarks ==\n");
+    let mut rows = Vec::new();
+    for b in zoo::benchmarks() {
+        let trace = benchmark_trace(&b, 42);
+        let s = stats::network_stats(&trace);
+        rows.push(vec![
+            b.notation.to_string(),
+            b.application.to_string(),
+            b.dataset.to_string(),
+            format!("{}", trace.input_points()),
+            format!("{:.2}", s.macs as f64 / 1e9),
+            format!("{:.2}", s.params as f64 / 1e6),
+            format!("{}", s.maps),
+        ]);
+    }
+    print_table(
+        &["Model", "Application", "Dataset", "#Points", "GMACs", "MParams", "#Maps"],
+        &rows,
+    );
+}

@@ -1,0 +1,47 @@
+//! Table 3: evaluated ASIC platforms.
+
+use pointacc::PointAccConfig;
+use pointacc_bench::print_table;
+
+fn main() {
+    println!("== Table 3: Evaluated ASIC Platforms ==\n");
+    let full = PointAccConfig::full();
+    let edge = PointAccConfig::edge();
+    let rows = vec![
+        vec![
+            "Mesorasi".into(),
+            "16x16=256".into(),
+            "1624".into(),
+            "n/a (16nm)".into(),
+            "1 GHz".into(),
+            "LPDDR3-1600".into(),
+            "12.8 GB/s".into(),
+            "512 GOPS".into(),
+        ],
+        vec![
+            full.name.clone(),
+            format!("{}x{}={}", full.pe_rows, full.pe_cols, full.pe_rows * full.pe_cols),
+            format!("{}", full.total_sram_bytes() / 1024),
+            format!("{:.1} mm2", full.area_mm2()),
+            "1 GHz".into(),
+            "HBM2".into(),
+            "256 GB/s".into(),
+            format!("{:.1} TOPS", full.peak_ops() / 1e12),
+        ],
+        vec![
+            edge.name.clone(),
+            format!("{}x{}={}", edge.pe_rows, edge.pe_cols, edge.pe_rows * edge.pe_cols),
+            format!("{}", edge.total_sram_bytes() / 1024),
+            format!("{:.1} mm2", edge.area_mm2()),
+            "1 GHz".into(),
+            "DDR4-2133".into(),
+            "17 GB/s".into(),
+            format!("{:.0} GOPS", edge.peak_ops() / 1e9),
+        ],
+    ];
+    print_table(
+        &["Chip", "Cores", "SRAM(KB)", "Area", "Freq", "DRAM", "Bandwidth", "Peak"],
+        &rows,
+    );
+    println!("\npaper: PointAcc 15.7 mm2 / 8 TOPS; PointAcc.Edge 3.9 mm2 / 512 GOPS (TSMC 40nm)");
+}

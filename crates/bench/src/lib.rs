@@ -1,0 +1,165 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the common plumbing: building traces for the
+//! Table 2 benchmarks on the synthetic datasets, aligned table printing,
+//! geometric means, and the paper's reported numbers for side-by-side
+//! comparison.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pointacc_data::Dataset;
+use pointacc_nn::{zoo::Benchmark, ExecMode, Executor, NetworkTrace};
+
+/// Resolves a Table 2 dataset name to the generator enum.
+///
+/// # Panics
+///
+/// Panics on an unknown dataset name.
+pub fn dataset_by_name(name: &str) -> Dataset {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name() == name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+}
+
+/// Point-count scale factor from `POINTACC_SCALE` (default 1.0). Set
+/// e.g. `POINTACC_SCALE=0.25` for quick smoke runs.
+pub fn scale() -> f64 {
+    std::env::var("POINTACC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Builds the execution trace of one benchmark on its synthetic dataset
+/// (trace-only fidelity — identical costs, no feature arithmetic).
+pub fn benchmark_trace(bench: &Benchmark, seed: u64) -> NetworkTrace {
+    let ds = dataset_by_name(bench.dataset);
+    let n = ((bench.network.default_points() as f64 * scale()) as usize).max(64);
+    let pts = ds.generate(seed, n);
+    let mut trace = Executor::new(ExecMode::TraceOnly, seed).run(&bench.network, &pts);
+    trace.trace.network = bench.notation.to_string();
+    trace.trace.input_desc = format!("{} ({n} pts)", bench.dataset);
+    trace.trace
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<width$}", c, width = widths[i] + 2));
+            } else {
+                s.push_str(&format!("{:>width$}", c, width = widths[i] + 2));
+            }
+        }
+        println!("{s}");
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum()));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Paper-reported reference numbers, printed alongside measurements so
+/// every figure shows "paper vs ours".
+pub mod paper {
+    /// Benchmark order of Fig. 13/14 (matches `zoo::benchmarks()`).
+    pub const NETWORKS: [&str; 8] = [
+        "PointNet",
+        "PointNet++(c)",
+        "PointNet++(ps)",
+        "DGCNN",
+        "F-PointNet++",
+        "PointNet++(s)",
+        "MinkNet(i)",
+        "MinkNet(o)",
+    ];
+    /// Fig. 13: PointAcc speedup over RTX 2080Ti.
+    pub const FIG13_SPEEDUP_GPU: [f64; 8] = [3.7, 2.8, 2.8, 3.7, 3.7, 4.7, 8.3, 2.4];
+    /// Fig. 13: PointAcc speedup over Xeon + TPUv3.
+    pub const FIG13_SPEEDUP_TPU: [f64; 8] = [27.0, 113.0, 37.0, 3.4, 269.0, 88.0, 102.0, 71.0];
+    /// Fig. 13: PointAcc speedup over Xeon Gold 6130.
+    pub const FIG13_SPEEDUP_CPU: [f64; 8] = [127.0, 97.0, 82.0, 65.0, 131.0, 106.0, 94.0, 51.0];
+    /// Fig. 13: energy savings vs RTX 2080Ti.
+    pub const FIG13_ENERGY_GPU: [f64; 8] = [18.0, 14.0, 25.0, 27.0, 16.0, 45.0, 36.0, 13.0];
+    /// Fig. 14: PointAcc.Edge speedup over Jetson Xavier NX.
+    pub const FIG14_SPEEDUP_NX: [f64; 8] = [2.2, 2.3, 2.7, 3.4, 2.8, 4.6, 2.1, 1.3];
+    /// Fig. 14: PointAcc.Edge speedup over Jetson Nano.
+    pub const FIG14_SPEEDUP_NANO: [f64; 8] = [6.7, 7.8, 10.0, 14.0, 11.0, 23.0, 8.3, 5.4];
+    /// Fig. 14: PointAcc.Edge speedup over Raspberry Pi 4B.
+    pub const FIG14_SPEEDUP_RPI: [f64; 8] = [148.0, 159.0, 156.0, 131.0, 262.0, 181.0, 107.0, 63.0];
+    /// Fig. 15 benchmark subset (PointNet++-based).
+    pub const FIG15_NETWORKS: [&str; 4] =
+        ["PointNet++(c)", "PointNet++(ps)", "F-PointNet++", "PointNet++(s)"];
+    /// Fig. 15: PointAcc.Edge speedup over Mesorasi-HW.
+    pub const FIG15_SPEEDUP_HW: [f64; 4] = [2.5, 3.1, 6.2, 7.1];
+    /// Fig. 15: speedup over Mesorasi-SW on Jetson Nano.
+    pub const FIG15_SPEEDUP_SW_NANO: [f64; 4] = [10.0, 9.3, 19.0, 21.0];
+    /// Fig. 15: speedup over Mesorasi-SW on Raspberry Pi 4B.
+    pub const FIG15_SPEEDUP_SW_RPI: [f64; 4] = [109.0, 87.0, 209.0, 134.0];
+    /// Fig. 16: mIoU of PointNet++SSG on S3DIS (quoted).
+    pub const FIG16_MIOU_POINTNETPP: f64 = 53.5;
+    /// Fig. 16: mIoU of Mini-MinkowskiUNet on S3DIS (quoted; +9.1 %).
+    pub const FIG16_MIOU_MINI_MINK: f64 = 62.6;
+    /// Fig. 19: DRAM reduction from caching, S3DIS / SemanticKITTI.
+    pub const FIG19_REDUCTION: [f64; 2] = [6.3, 3.5];
+    /// Fig. 20: DRAM reduction from fusion per network.
+    pub const FIG20_NETWORKS: [&str; 4] =
+        ["PointNet", "PointNet++(c)", "PointNet++(ps)", "PointNet++(s)"];
+    /// Fig. 20 reduction percentages.
+    pub const FIG20_REDUCTION_PCT: [f64; 4] = [64.0, 41.0, 33.0, 39.0];
+    /// Fig. 21: energy breakdown (compute, SRAM, DRAM).
+    pub const FIG21_ENERGY: [f64; 3] = [0.74, 0.06, 0.20];
+    /// §4.1.1: mergesort vs hash-table speed and area factors.
+    pub const MERGESORT_VS_HASH: (f64, f64) = (1.4, 14.0);
+    /// §4.1.4: top-k speedup over quick-select.
+    pub const TOPK_VS_QUICKSELECT: f64 = 1.18;
+    /// Fig. 13/14 geomeans: (GPU, TPU, CPU, NX, Nano, RPi) speedups.
+    pub const GEOMEAN_SPEEDUPS: [f64; 6] = [3.7, 53.0, 90.0, 2.5, 9.8, 141.0];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_lookup_by_table2_names() {
+        for b in pointacc_nn::zoo::benchmarks() {
+            let _ = dataset_by_name(b.dataset);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        let _ = dataset_by_name("NuScenes");
+    }
+}

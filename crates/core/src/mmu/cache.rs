@@ -1,0 +1,254 @@
+//! Input-buffer cache for sparse computation (paper §4.2.3, Fig. 18).
+//!
+//! In Fetch-on-Demand flow the MMU configures the input feature buffers
+//! as a direct-mapped cache with a *software-controllable block size*:
+//! one block holds the features of `block_points` consecutive input
+//! points for one input-channel tile. The MIR container serves as the
+//! shared tag array.
+
+use pointacc_geom::MapTable;
+
+use super::mir::{MirContainer, MirMode};
+
+/// Cache geometry for one sparse layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache capacity, bytes (the input feature buffer).
+    pub capacity_bytes: usize,
+    /// Points per cache block (software-chosen, paper Fig. 18 sweeps
+    /// 1–128).
+    pub block_points: usize,
+    /// Bytes of one point-row within one channel tile
+    /// (`ic_tile × elem_bytes`).
+    pub row_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Bytes per cache block.
+    pub fn block_bytes(&self) -> usize {
+        self.block_points * self.row_bytes
+    }
+
+    /// Number of blocks (direct-mapped sets).
+    pub fn n_blocks(&self) -> usize {
+        (self.capacity_bytes / self.block_bytes()).max(1)
+    }
+}
+
+/// Access-level results of a cache simulation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total feature-row accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (each loading one block from DRAM).
+    pub misses: u64,
+    /// DRAM bytes fetched (`misses × block_bytes`).
+    pub dram_bytes: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A direct-mapped feature cache built on the MIR container.
+#[derive(Clone, Debug)]
+pub struct FeatureCache {
+    cfg: CacheConfig,
+    tags: MirContainer,
+    stats: CacheStats,
+}
+
+impl FeatureCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero blocks or zero-sized
+    /// blocks.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.block_points > 0 && cfg.row_bytes > 0, "cache block must be nonzero");
+        FeatureCache {
+            cfg,
+            tags: MirContainer::new(MirMode::TagArray, cfg.n_blocks(), cfg.capacity_bytes),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accesses the features of input point `point` in channel-tile
+    /// `ic_tile`; returns `true` on hit.
+    pub fn access(&mut self, point: u32, ic_tile: u32) -> bool {
+        let block = point as u64 / self.cfg.block_points as u64;
+        // Tag = (point block, channel tile); mixing the tile into the id
+        // spreads tiles across sets.
+        let id = block.wrapping_mul(0x9E37_79B9).wrapping_add((ic_tile as u64) << 1) | 1;
+        let hit = self.tags.probe(id, self.cfg.block_bytes());
+        self.stats.accesses += 1;
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.stats.dram_bytes += self.cfg.block_bytes() as u64;
+        }
+        hit
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Loop-nest description of one sparse layer's input accesses.
+#[derive(Copy, Clone, Debug)]
+pub struct SparseAccessPlan {
+    /// Input-channel tiles (`ceil(in_ch / pe_rows)`).
+    pub ic_tiles: usize,
+    /// Output-channel tiles (`ceil(out_ch / pe_cols)`).
+    pub oc_tiles: usize,
+    /// Output points resident per output tile (bounded by the output
+    /// buffer; the weight-stationary inner loop streams all maps whose
+    /// output lies in the resident tile).
+    pub out_tile_points: usize,
+}
+
+/// Simulates the Fetch-on-Demand access stream of one sparse layer
+/// through the cache and returns the statistics.
+///
+/// Loop nest (paper §4.2.2): output-stationary outer over output tiles
+/// and output-channel tiles; weight-stationary inner over kernel offsets
+/// and the maps of the resident outputs; input channels tiled innermost.
+///
+/// If `sample_limit` is `Some(n)`, simulation stops after `n` accesses
+/// (used by the compiler's block-size search).
+pub fn simulate_sparse_accesses(
+    cfg: CacheConfig,
+    maps: &MapTable,
+    plan: SparseAccessPlan,
+    sample_limit: Option<u64>,
+) -> CacheStats {
+    let mut cache = FeatureCache::new(cfg);
+    let n_out = maps
+        .entries()
+        .iter()
+        .map(|e| e.output)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    let tile_pts = plan.out_tile_points.max(1);
+    let n_tiles = n_out.div_ceil(tile_pts).max(1);
+    'outer: for t in 0..n_tiles {
+        let lo = (t * tile_pts) as u32;
+        let hi = ((t + 1) * tile_pts) as u32;
+        for _oc in 0..plan.oc_tiles {
+            for ic in 0..plan.ic_tiles {
+                for w in 0..maps.n_weights() {
+                    let group = maps.group(w);
+                    // Maps are emitted in ascending output order, so the
+                    // resident range is a contiguous slice.
+                    let start = group.partition_point(|e| e.output < lo);
+                    let end = group.partition_point(|e| e.output < hi);
+                    for e in &group[start..end] {
+                        cache.access(e.input, ic as u32);
+                        if let Some(limit) = sample_limit {
+                            if cache.stats().accesses >= limit {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cache.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc_geom::MapEntry;
+
+    fn seq_maps(n: usize, k: usize) -> MapTable {
+        // Each output q reads inputs q, q+1, …, q+k−1 under k weights —
+        // a 1-D convolution pattern.
+        let mut entries = Vec::new();
+        for q in 0..n {
+            for w in 0..k {
+                let p = (q + w) % n;
+                entries.push(MapEntry::new(p as u32, q as u32, w as u16));
+            }
+        }
+        MapTable::from_entries(entries, k)
+    }
+
+    fn plan() -> SparseAccessPlan {
+        SparseAccessPlan { ic_tiles: 1, oc_tiles: 1, out_tile_points: 64 }
+    }
+
+    #[test]
+    fn bigger_blocks_reduce_miss_rate() {
+        // Paper Fig. 18: miss rate decreases with block size.
+        let maps = seq_maps(4096, 3);
+        let mut last = f64::INFINITY;
+        for bp in [1usize, 4, 16, 64] {
+            let cfg = CacheConfig { capacity_bytes: 64 * 1024, block_points: bp, row_bytes: 128 };
+            let s = simulate_sparse_accesses(cfg, &maps, plan(), None);
+            assert!(
+                s.miss_rate() <= last + 1e-9,
+                "block {bp}: rate {} should not exceed {last}",
+                s.miss_rate()
+            );
+            last = s.miss_rate();
+        }
+    }
+
+    #[test]
+    fn more_neighbors_reduce_miss_rate() {
+        // Paper Fig. 18: higher kernel size (more neighbors) → more reuse.
+        let cfg = CacheConfig { capacity_bytes: 32 * 1024, block_points: 8, row_bytes: 128 };
+        let s2 = simulate_sparse_accesses(cfg, &seq_maps(4096, 2), plan(), None);
+        let s3 = simulate_sparse_accesses(cfg, &seq_maps(4096, 8), plan(), None);
+        assert!(
+            s3.miss_rate() < s2.miss_rate(),
+            "k=8 rate {} should be below k=2 rate {}",
+            s3.miss_rate(),
+            s2.miss_rate()
+        );
+    }
+
+    #[test]
+    fn dram_bytes_equal_misses_times_block() {
+        let cfg = CacheConfig { capacity_bytes: 4 * 1024, block_points: 4, row_bytes: 64 };
+        let s = simulate_sparse_accesses(cfg, &seq_maps(512, 3), plan(), None);
+        assert_eq!(s.dram_bytes, s.misses * cfg.block_bytes() as u64);
+        assert_eq!(s.accesses, s.hits + s.misses);
+    }
+
+    #[test]
+    fn sampling_stops_early() {
+        let cfg = CacheConfig { capacity_bytes: 4 * 1024, block_points: 4, row_bytes: 64 };
+        let s = simulate_sparse_accesses(cfg, &seq_maps(512, 3), plan(), Some(100));
+        assert_eq!(s.accesses, 100);
+    }
+
+    #[test]
+    fn perfect_reuse_when_everything_fits() {
+        // Working set fits: only cold misses remain.
+        let maps = seq_maps(64, 4);
+        let cfg = CacheConfig { capacity_bytes: 1024 * 1024, block_points: 1, row_bytes: 128 };
+        let s = simulate_sparse_accesses(cfg, &maps, plan(), None);
+        assert_eq!(s.misses, 64, "one cold miss per distinct input point");
+    }
+}

@@ -1,0 +1,219 @@
+//! Memory-tile Meta-Info Registers (MIRs) and their container
+//! (paper Fig. 11a/b).
+//!
+//! The MMU manages on-chip buffers in the granularity of *tiles*; each
+//! tile's metadata (base offset, capacity, occupancy, tag) lives in a
+//! MIR. The MIR container is mode-switched per layer: a **tag array**
+//! when the input buffers act as a cache for sparse computation, a
+//! **FIFO** for plain dense streaming, and a **stack** for temporal layer
+//! fusion (Fig. 12a).
+
+/// Metadata of one memory tile.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Mir {
+    /// Tile identity: cache tag in tag-array mode, layer id in stack
+    /// mode.
+    pub id: u64,
+    /// Base offset of the tile in the buffer, bytes.
+    pub base: usize,
+    /// Allocated capacity, bytes.
+    pub capacity: usize,
+    /// Bytes currently valid.
+    pub occupancy: usize,
+}
+
+/// Operating mode of the MIR container.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MirMode {
+    /// Direct-mapped tag array (cache for sparse computation).
+    TagArray,
+    /// FIFO of prefetch tiles (dense streaming).
+    Fifo,
+    /// Stack of per-layer tiles (temporal layer fusion).
+    Stack,
+}
+
+/// The MIR container: a fixed number of MIR slots plus the byte budget of
+/// the buffer they describe.
+#[derive(Clone, Debug)]
+pub struct MirContainer {
+    mode: MirMode,
+    capacity_bytes: usize,
+    slots: Vec<Option<Mir>>,
+}
+
+impl MirContainer {
+    /// Creates a container with `n_slots` MIRs over a buffer of
+    /// `capacity_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slots == 0` or `capacity_bytes == 0`.
+    pub fn new(mode: MirMode, n_slots: usize, capacity_bytes: usize) -> Self {
+        assert!(n_slots > 0 && capacity_bytes > 0, "container must be nonzero");
+        MirContainer { mode, capacity_bytes, slots: vec![None; n_slots] }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> MirMode {
+        self.mode
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Number of MIR slots.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Switches mode, clearing all tiles (the paper reconfigures between
+    /// layers).
+    pub fn set_mode(&mut self, mode: MirMode) {
+        self.mode = mode;
+        self.slots.fill(None);
+    }
+
+    // ---------------- Tag-array (cache) mode ----------------
+
+    /// Cache lookup in tag-array mode: returns `true` on hit; on miss the
+    /// slot is refilled with `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in [`MirMode::TagArray`] mode.
+    pub fn probe(&mut self, id: u64, tile_bytes: usize) -> bool {
+        assert_eq!(self.mode, MirMode::TagArray, "probe requires tag-array mode");
+        let set = (id % self.slots.len() as u64) as usize;
+        match &self.slots[set] {
+            Some(m) if m.id == id => true,
+            _ => {
+                self.slots[set] = Some(Mir {
+                    id,
+                    base: set * tile_bytes,
+                    capacity: tile_bytes,
+                    occupancy: tile_bytes,
+                });
+                false
+            }
+        }
+    }
+
+    // ---------------- Stack (fusion) mode ----------------
+
+    /// Pushes a tile in stack mode; fails with `None` if the byte budget
+    /// or slot count would overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in [`MirMode::Stack`] mode.
+    pub fn push(&mut self, id: u64, bytes: usize) -> Option<usize> {
+        assert_eq!(self.mode, MirMode::Stack, "push requires stack mode");
+        let used: usize = self.slots.iter().flatten().map(|m| m.occupancy).sum();
+        if used + bytes > self.capacity_bytes {
+            return None;
+        }
+        let slot = self.slots.iter().position(Option::is_none)?;
+        self.slots[slot] = Some(Mir { id, base: used, capacity: bytes, occupancy: bytes });
+        Some(slot)
+    }
+
+    /// The top-of-stack MIR (highest base), if any.
+    pub fn top(&self) -> Option<&Mir> {
+        assert_eq!(self.mode, MirMode::Stack, "top requires stack mode");
+        self.slots.iter().flatten().max_by_key(|m| m.base)
+    }
+
+    /// Pops the top tile in stack mode.
+    pub fn pop(&mut self) -> Option<Mir> {
+        assert_eq!(self.mode, MirMode::Stack, "pop requires stack mode");
+        let top_idx = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|m| (i, m.base)))
+            .max_by_key(|&(_, base)| base)?
+            .0;
+        self.slots[top_idx].take()
+    }
+
+    /// Shrinks the occupancy of the tile `id` (partial release when a
+    /// previous layer's inputs are partly consumed — Fig. 12b stage 2).
+    ///
+    /// Returns `false` if no such tile exists.
+    pub fn shrink(&mut self, id: u64, new_occupancy: usize) -> bool {
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.id == id {
+                slot.occupancy = new_occupancy.min(slot.occupancy);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total occupied bytes.
+    pub fn occupied_bytes(&self) -> usize {
+        self.slots.iter().flatten().map(|m| m.occupancy).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_array_hits_and_misses() {
+        let mut c = MirContainer::new(MirMode::TagArray, 4, 4096);
+        assert!(!c.probe(10, 64)); // cold miss
+        assert!(c.probe(10, 64)); // hit
+        assert!(!c.probe(14, 64)); // conflict: 14 % 4 == 10 % 4
+        assert!(!c.probe(10, 64)); // evicted by 14
+    }
+
+    #[test]
+    fn stack_push_pop_lifo() {
+        let mut c = MirContainer::new(MirMode::Stack, 4, 1000);
+        c.push(0, 400).unwrap();
+        c.push(1, 300).unwrap();
+        assert_eq!(c.top().unwrap().id, 1);
+        assert_eq!(c.pop().unwrap().id, 1);
+        assert_eq!(c.pop().unwrap().id, 0);
+        assert!(c.pop().is_none());
+    }
+
+    #[test]
+    fn stack_respects_byte_budget() {
+        let mut c = MirContainer::new(MirMode::Stack, 4, 1000);
+        c.push(0, 800).unwrap();
+        assert!(c.push(1, 300).is_none(), "must reject overflow");
+        assert_eq!(c.occupied_bytes(), 800);
+    }
+
+    #[test]
+    fn shrink_releases_used_half() {
+        // Fig. 12b stage 2: layer-1 tile capacity halves after half its
+        // inputs are consumed.
+        let mut c = MirContainer::new(MirMode::Stack, 4, 1000);
+        c.push(1, 600).unwrap();
+        assert!(c.shrink(1, 300));
+        assert_eq!(c.occupied_bytes(), 300);
+        assert!(c.push(2, 600).is_some(), "freed space is reusable");
+    }
+
+    #[test]
+    fn mode_switch_clears_tiles() {
+        let mut c = MirContainer::new(MirMode::Stack, 2, 100);
+        c.push(0, 50).unwrap();
+        c.set_mode(MirMode::TagArray);
+        assert!(!c.probe(0, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag-array mode")]
+    fn probe_in_stack_mode_panics() {
+        let mut c = MirContainer::new(MirMode::Stack, 2, 100);
+        let _ = c.probe(0, 10);
+    }
+}

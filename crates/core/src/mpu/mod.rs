@@ -1,0 +1,20 @@
+//! The Mapping Unit (MPU): every point-cloud mapping operation unified
+//! onto one ranking-based compute kernel (paper §4.1).
+//!
+//! Pipeline stages (Fig. 7): FetchCoords → CalculateDistance →
+//! Split-&-Sort → Buffering → MergeSort → DetectIntersection. The
+//! submodules model the stages' composite behaviours:
+//!
+//! - [`stream`] — the forwarding-loop streaming merger (Fig. 10a),
+//! - [`rank`] — arbitrary-length Sort / Top-K (Fig. 10b/c),
+//! - [`ops`] — FPS, kNN / ball query, kernel mapping, quantization,
+//!   each functionally bit-identical to the golden reference and
+//!   reporting hardware cycle counts.
+
+pub mod ops;
+pub mod rank;
+pub mod stream;
+
+pub use ops::{MappingStats, Mpu};
+pub use rank::{RankEngine, RankStats};
+pub use stream::{MergeStats, StreamMerger};

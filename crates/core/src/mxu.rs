@@ -1,0 +1,132 @@
+//! The Matrix Unit (MXU): a weight-stationary systolic array that
+//! parallelizes input × output channels (paper §4.3), so one output
+//! point's features are produced per cycle and no scatter crossbar is
+//! needed.
+
+use pointacc_geom::MapTable;
+use pointacc_nn::{ComputeKind, LayerTrace};
+use pointacc_sim::{Cycles, SystolicArray};
+
+/// The matrix unit.
+#[derive(Copy, Clone, Debug)]
+pub struct Mxu {
+    array: SystolicArray,
+}
+
+impl Mxu {
+    /// Creates an MXU with a `rows × cols` PE array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Mxu { array: SystolicArray::new(rows, cols) }
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> SystolicArray {
+        self.array
+    }
+
+    /// Cycles for a sparse convolution: one weight-stationary matmul per
+    /// kernel offset, `m = |maps_w|` activations streamed through each.
+    pub fn sparse_conv_cycles(&self, maps: &MapTable, in_ch: usize, out_ch: usize) -> Cycles {
+        (0..maps.n_weights())
+            .map(|w| self.array.matmul_cycles(maps.group(w).len(), in_ch, out_ch))
+            .sum()
+    }
+
+    /// Cycles for a dense / grouped matmul over `rows` rows.
+    pub fn dense_cycles(&self, rows: usize, in_ch: usize, out_ch: usize) -> Cycles {
+        self.array.matmul_cycles(rows, in_ch, out_ch)
+    }
+
+    /// Cycles for map-guided interpolation (`maps × out_ch` MACs on the
+    /// array's columns; rows are idle — interpolation has no reduction
+    /// dimension).
+    pub fn interpolate_cycles(&self, n_maps: usize, out_ch: usize) -> Cycles {
+        self.array.matmul_cycles(n_maps, 1, out_ch)
+    }
+
+    /// Cycles for one whole traced layer.
+    pub fn layer_cycles(&self, layer: &LayerTrace) -> Cycles {
+        match layer.compute {
+            ComputeKind::SparseConv => {
+                let maps = layer.maps.as_ref().expect("sparse layer requires maps");
+                self.sparse_conv_cycles(maps, layer.in_ch, layer.out_ch)
+            }
+            ComputeKind::Grouped | ComputeKind::Dense => {
+                self.dense_cycles(layer.n_out, layer.in_ch, layer.out_ch)
+            }
+            ComputeKind::Interpolate => {
+                let n = layer.maps.as_ref().map_or(layer.n_out, MapTable::len);
+                self.interpolate_cycles(n, layer.out_ch)
+            }
+            // Pooling is folded into the output datapath (one pass over
+            // the rows at one row/cycle).
+            ComputeKind::Pool => Cycles::new(layer.n_in as u64),
+        }
+    }
+
+    /// Utilization of one layer: useful MACs over peak for the cycles
+    /// spent.
+    pub fn layer_utilization(&self, layer: &LayerTrace) -> f64 {
+        let cycles = self.layer_cycles(layer).get();
+        if cycles == 0 {
+            return 0.0;
+        }
+        layer.macs() as f64 / (cycles as f64 * self.array.peak_macs_per_cycle() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc_geom::MapEntry;
+    use pointacc_nn::Aggregation;
+
+    fn sparse_layer(n: usize, k: usize, c: usize) -> LayerTrace {
+        let mut entries = Vec::new();
+        for q in 0..n {
+            for w in 0..k {
+                entries.push(MapEntry::new(((q + w) % n) as u32, q as u32, w as u16));
+            }
+        }
+        LayerTrace {
+            name: "conv".into(),
+            compute: ComputeKind::SparseConv,
+            n_in: n,
+            n_out: n,
+            in_ch: c,
+            out_ch: c,
+            maps: Some(MapTable::from_entries(entries, k)),
+            mapping: vec![],
+            aggregation: Aggregation::Sum,
+            pool_group: None,
+            fusable: false,
+        }
+    }
+
+    #[test]
+    fn sparse_cycles_sum_over_offsets() {
+        let mxu = Mxu::new(16, 16);
+        let l = sparse_layer(256, 4, 16);
+        let per_offset = mxu.dense_cycles(256, 16, 16);
+        assert_eq!(mxu.layer_cycles(&l), per_offset * 4);
+    }
+
+    #[test]
+    fn utilization_high_for_large_layers() {
+        let mxu = Mxu::new(16, 16);
+        let l = sparse_layer(10_000, 8, 64);
+        assert!(mxu.layer_utilization(&l) > 0.8);
+    }
+
+    #[test]
+    fn pool_layer_is_cheap() {
+        let mut l = sparse_layer(100, 1, 8);
+        l.compute = ComputeKind::Pool;
+        let mxu = Mxu::new(16, 16);
+        assert_eq!(mxu.layer_cycles(&l), Cycles::new(100));
+    }
+}

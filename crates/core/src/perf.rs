@@ -1,0 +1,168 @@
+//! Performance reports: per-layer and whole-network cycles, DRAM traffic
+//! and energy, broken down the way the paper's Fig. 21 reports them.
+
+use pointacc_sim::{Cycles, PicoJoules};
+
+/// Performance record of one executed layer.
+#[derive(Clone, Debug, Default)]
+pub struct LayerPerf {
+    /// Layer name from the trace.
+    pub name: String,
+    /// Mapping-unit cycles (mapping operations for this layer).
+    pub mpu_cycles: Cycles,
+    /// Matrix-unit cycles.
+    pub mxu_cycles: Cycles,
+    /// DRAM transfer cycles for this layer's traffic.
+    pub dram_cycles: Cycles,
+    /// Layer latency after overlap: `max(mxu, dram) + mpu`.
+    pub latency: Cycles,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Compute energy (MACs + comparators + ALU).
+    pub compute_energy: PicoJoules,
+    /// On-chip SRAM access energy.
+    pub sram_energy: PicoJoules,
+    /// DRAM access energy.
+    pub dram_energy: PicoJoules,
+    /// Cache miss rate for sparse layers (`None` when no cache ran).
+    pub cache_miss_rate: Option<f64>,
+    /// Chosen cache block size in points, if cached.
+    pub cache_block_points: Option<usize>,
+    /// Whether the layer executed inside a fusion group.
+    pub fused: bool,
+}
+
+impl LayerPerf {
+    /// Total energy of the layer.
+    pub fn energy(&self) -> PicoJoules {
+        self.compute_energy + self.sram_energy + self.dram_energy
+    }
+}
+
+/// Whole-network report.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Configuration name.
+    pub config: String,
+    /// Network name.
+    pub network: String,
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerPerf>,
+    /// Clock frequency used for time conversions, Hz.
+    pub freq_hz: f64,
+}
+
+impl RunReport {
+    /// Total latency in cycles.
+    pub fn total_cycles(&self) -> Cycles {
+        self.layers.iter().map(|l| l.latency).sum()
+    }
+
+    /// Total latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.total_cycles().to_millis(self.freq_hz)
+    }
+
+    /// Total energy.
+    pub fn energy(&self) -> PicoJoules {
+        self.layers.iter().map(LayerPerf::energy).sum()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.dram_bytes).sum()
+    }
+
+    /// Total MACs.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Latency breakdown `(mapping, matmul, data-movement)` as fractions
+    /// of total latency; data movement counts only the DRAM cycles not
+    /// hidden under the matmul (Fig. 21a).
+    pub fn latency_breakdown(&self) -> (f64, f64, f64) {
+        let total = self.total_cycles().get().max(1) as f64;
+        let mapping: u64 = self.layers.iter().map(|l| l.mpu_cycles.get()).sum();
+        let exposed_dram: u64 = self
+            .layers
+            .iter()
+            .map(|l| l.dram_cycles.get().saturating_sub(l.mxu_cycles.get()))
+            .sum();
+        let matmul = self.total_cycles().get() - mapping - exposed_dram;
+        (
+            mapping as f64 / total,
+            matmul as f64 / total,
+            exposed_dram as f64 / total,
+        )
+    }
+
+    /// Energy breakdown `(compute, sram, dram)` as fractions (Fig. 21b).
+    pub fn energy_breakdown(&self) -> (f64, f64, f64) {
+        let total = self.energy().get().max(f64::MIN_POSITIVE);
+        let compute: f64 = self.layers.iter().map(|l| l.compute_energy.get()).sum();
+        let sram: f64 = self.layers.iter().map(|l| l.sram_energy.get()).sum();
+        let dram: f64 = self.layers.iter().map(|l| l.dram_energy.get()).sum();
+        (compute / total, sram / total, dram / total)
+    }
+
+    /// Mean matrix-unit utilization weighted by cycles.
+    pub fn mean_utilization(&self, peak_macs_per_cycle: u64) -> f64 {
+        let cycles: u64 = self.layers.iter().map(|l| l.mxu_cycles.get()).sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.macs() as f64 / (cycles as f64 * peak_macs_per_cycle as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(mpu: u64, mxu: u64, dram: u64) -> LayerPerf {
+        LayerPerf {
+            name: "l".into(),
+            mpu_cycles: Cycles::new(mpu),
+            mxu_cycles: Cycles::new(mxu),
+            dram_cycles: Cycles::new(dram),
+            latency: Cycles::new(mxu.max(dram) + mpu),
+            dram_bytes: dram * 16,
+            macs: mxu * 256,
+            compute_energy: PicoJoules::new(mxu as f64),
+            sram_energy: PicoJoules::new(0.1 * mxu as f64),
+            dram_energy: PicoJoules::new(0.3 * dram as f64),
+            cache_miss_rate: None,
+            cache_block_points: None,
+            fused: false,
+        }
+    }
+
+    #[test]
+    fn breakdowns_sum_to_one() {
+        let report = RunReport {
+            config: "t".into(),
+            network: "n".into(),
+            layers: vec![layer(10, 100, 50), layer(5, 60, 120)],
+            freq_hz: 1e9,
+        };
+        let (m, x, d) = report.latency_breakdown();
+        assert!((m + x + d - 1.0).abs() < 1e-9, "{m} {x} {d}");
+        let (c, s, dr) = report.energy_breakdown();
+        assert!((c + s + dr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_accounts_overlap() {
+        let report = RunReport {
+            config: "t".into(),
+            network: "n".into(),
+            layers: vec![layer(10, 100, 50)],
+            freq_hz: 1e9,
+        };
+        assert_eq!(report.total_cycles().get(), 110);
+        assert!((report.latency_ms() - 110.0 / 1e6).abs() < 1e-12);
+    }
+}

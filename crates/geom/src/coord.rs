@@ -1,0 +1,195 @@
+//! Integer lattice coordinates used by SparseConv-style point cloud
+//! convolution.
+//!
+//! Quantized point clouds live on an integer lattice whose spacing is the
+//! *tensor stride* (`ts = 2^k` after `k` downsamplings, see §2.1.1 of the
+//! paper). [`Coord`] is one lattice position; its derived ordering is the
+//! lexicographic `(x, y, z)` order that the PointAcc mapping unit sorts by.
+
+use std::fmt;
+
+/// A 3-D integer lattice coordinate.
+///
+/// The derived `Ord` is lexicographic over `(x, y, z)`; this is the order
+/// the hardware sorters operate in, and [`Coord::key`] produces the packed
+/// 96-bit comparator key with the same ordering.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::Coord;
+/// let p = Coord::new(3, 5, -1);
+/// assert_eq!(p.quantize(2), Coord::new(2, 4, -2));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Coord {
+    /// x component.
+    pub x: i32,
+    /// y component.
+    pub y: i32,
+    /// z component.
+    pub z: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate from its three components.
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        Coord { x, y, z }
+    }
+
+    /// The origin `(0, 0, 0)`.
+    pub const ZERO: Coord = Coord::new(0, 0, 0);
+
+    /// Component-wise addition; used to shift a point cloud by a kernel
+    /// offset (paper Fig. 9: "shift inputs").
+    #[must_use]
+    pub const fn offset(self, d: Coord) -> Coord {
+        Coord::new(self.x + d.x, self.y + d.y, self.z + d.z)
+    }
+
+    /// Component-wise subtraction.
+    #[must_use]
+    pub const fn sub(self, d: Coord) -> Coord {
+        Coord::new(self.x - d.x, self.y - d.y, self.z - d.z)
+    }
+
+    /// Component-wise scaling by `s`.
+    #[must_use]
+    pub const fn scale(self, s: i32) -> Coord {
+        Coord::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Quantizes to the lattice of spacing `stride`:
+    /// `q = floor(p / stride) * stride` (paper §2.1.1, Coordinates
+    /// Quantization). Works for negative coordinates (true floor division);
+    /// for the power-of-two strides used by SparseConv networks this is
+    /// exactly "clearing the lowest `log2(stride)` bits" in two's
+    /// complement, which is how the hardware implements it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride <= 0`.
+    #[must_use]
+    pub fn quantize(self, stride: i32) -> Coord {
+        assert!(stride > 0, "tensor stride must be positive, got {stride}");
+        if stride.count_ones() == 1 {
+            // Hardware path: clear the low bits.
+            let mask = !(stride - 1);
+            Coord::new(self.x & mask, self.y & mask, self.z & mask)
+        } else {
+            Coord::new(
+                self.x.div_euclid(stride) * stride,
+                self.y.div_euclid(stride) * stride,
+                self.z.div_euclid(stride) * stride,
+            )
+        }
+    }
+
+    /// Squared Euclidean distance to `other`, exact in `i64`.
+    pub fn dist2(self, other: Coord) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        let dz = (self.z - other.z) as i64;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Packs the coordinate into a single 96-bit comparator key (stored in
+    /// a `u128`) whose unsigned order equals the lexicographic `(x, y, z)`
+    /// order of the coordinates. Each component is biased by `2^31` so that
+    /// negative values sort before positive ones. This is the
+    /// `ComparatorStruct` key format of the mapping unit.
+    pub fn key(self) -> u128 {
+        const BIAS: u64 = 1 << 31;
+        let kx = (self.x as i64 + BIAS as i64) as u128;
+        let ky = (self.y as i64 + BIAS as i64) as u128;
+        let kz = (self.z as i64 + BIAS as i64) as u128;
+        (kx << 64) | (ky << 32) | kz
+    }
+
+    /// Inverse of [`Coord::key`].
+    pub fn from_key(key: u128) -> Coord {
+        const BIAS: i64 = 1 << 31;
+        let kx = ((key >> 64) & 0xFFFF_FFFF) as i64 - BIAS;
+        let ky = ((key >> 32) & 0xFFFF_FFFF) as i64 - BIAS;
+        let kz = (key & 0xFFFF_FFFF) as i64 - BIAS;
+        Coord::new(kx as i32, ky as i32, kz as i32)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(i32, i32, i32)> for Coord {
+    fn from((x, y, z): (i32, i32, i32)) -> Self {
+        Coord::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_matches_paper_examples() {
+        // "point (3, 5) whose ts = 1 will be quantized to (2, 4) whose
+        //  ts = 2" — paper §2.1.1 (2-D example, z held at 0).
+        assert_eq!(Coord::new(3, 5, 0).quantize(2), Coord::new(2, 4, 0));
+        // "point (4, 8) whose ts = 4 will be quantized to (0, 8) whose
+        //  ts = 8".
+        assert_eq!(Coord::new(4, 8, 0).quantize(8), Coord::new(0, 8, 0));
+    }
+
+    #[test]
+    fn quantize_negative_is_floor() {
+        assert_eq!(Coord::new(-1, -2, -3).quantize(2), Coord::new(-2, -2, -4));
+        assert_eq!(Coord::new(-5, 0, 7).quantize(4), Coord::new(-8, 0, 4));
+    }
+
+    #[test]
+    fn quantize_non_power_of_two() {
+        assert_eq!(Coord::new(7, -7, 3).quantize(3), Coord::new(6, -9, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor stride must be positive")]
+    fn quantize_zero_stride_panics() {
+        let _ = Coord::new(1, 1, 1).quantize(0);
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        for c in [
+            Coord::ZERO,
+            Coord::new(1, -2, 3),
+            Coord::new(i32::MIN / 2, i32::MAX / 2, 0),
+        ] {
+            assert_eq!(Coord::from_key(c.key()), c);
+        }
+    }
+
+    #[test]
+    fn key_order_matches_lexicographic() {
+        let a = Coord::new(-1, 100, 100);
+        let b = Coord::new(0, -100, -100);
+        assert!(a < b);
+        assert!(a.key() < b.key());
+    }
+
+    #[test]
+    fn dist2_is_symmetric() {
+        let a = Coord::new(1, 2, 3);
+        let b = Coord::new(-4, 0, 9);
+        assert_eq!(a.dist2(b), b.dist2(a));
+        assert_eq!(a.dist2(a), 0);
+    }
+
+    #[test]
+    fn offset_and_sub_are_inverse() {
+        let p = Coord::new(5, -3, 2);
+        let d = Coord::new(-1, 1, 0);
+        assert_eq!(p.offset(d).sub(d), p);
+    }
+}

@@ -1,0 +1,246 @@
+//! Dense row-major feature matrices attached to point clouds.
+//!
+//! Every point carries a 1-D feature vector (paper §2: `x_k = (p_k, f_k)`).
+//! Features for a whole cloud form an `n_points × channels` matrix.
+
+/// Row-major `rows × cols` matrix of `f32` features.
+///
+/// Row `i` is the feature vector of point `i`.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::FeatureMatrix;
+/// let mut f = FeatureMatrix::zeros(2, 3);
+/// f.row_mut(1)[2] = 5.0;
+/// assert_eq!(f.row(1), &[0.0, 0.0, 5.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FeatureMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        FeatureMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        FeatureMatrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        FeatureMatrix { rows, cols, data }
+    }
+
+    /// Number of rows (points).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (channels).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Gathers rows by index into a new matrix (the explicit *gather*
+    /// operation of the Gather-MatMul-Scatter flow).
+    #[must_use]
+    pub fn gather(&self, indices: &[u32]) -> FeatureMatrix {
+        let mut out = FeatureMatrix::zeros(indices.len(), self.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i as usize));
+        }
+        out
+    }
+
+    /// Concatenates two matrices along the channel dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    #[must_use]
+    pub fn concat_cols(&self, other: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(self.rows, other.rows, "row counts must match to concatenate channels");
+        let mut out = FeatureMatrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Dense matrix multiply: `self (r×c) * weights (c×n) -> (r×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.rows() != self.cols()`.
+    #[must_use]
+    pub fn matmul(&self, weights: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(self.cols, weights.rows, "inner dimensions must agree");
+        let mut out = FeatureMatrix::zeros(self.rows, weights.cols);
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let o = &mut out.data[r * weights.cols..(r + 1) * weights.cols];
+            for (k, &av) in a.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b = weights.row(k);
+                for (j, &bv) in b.iter().enumerate() {
+                    o[j] += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies ReLU in place.
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Element-wise maximum accumulated into `self` from `row_src` of
+    /// `src`, targeting row `row_dst` (scatter-max aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column mismatch or out-of-range rows.
+    pub fn scatter_max(&mut self, row_dst: usize, src: &FeatureMatrix, row_src: usize) {
+        assert_eq!(self.cols, src.cols, "column counts must match");
+        let s = src.row(row_src);
+        let d = self.row_mut(row_dst);
+        for (dv, &sv) in d.iter_mut().zip(s) {
+            if sv > *dv {
+                *dv = sv;
+            }
+        }
+    }
+
+    /// Adds `row_src` of `src` into row `row_dst` (scatter-accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column mismatch or out-of-range rows.
+    pub fn scatter_add(&mut self, row_dst: usize, src: &FeatureMatrix, row_src: usize) {
+        assert_eq!(self.cols, src.cols, "column counts must match");
+        let s = src.row(row_src);
+        let d = self.row_mut(row_dst);
+        for (dv, &sv) in d.iter_mut().zip(s) {
+            *dv += sv;
+        }
+    }
+
+    /// Maximum absolute element-wise difference to `other`; `None` when
+    /// shapes differ. Used by tests to compare executor outputs.
+    pub fn max_abs_diff(&self, other: &FeatureMatrix) -> Option<f32> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = FeatureMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = FeatureMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let a = FeatureMatrix::from_fn(3, 2, |r, c| (r * 10 + c) as f32);
+        let g = a.gather(&[2, 0]);
+        assert_eq!(g.row(0), &[20.0, 21.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_cols_widths_add() {
+        let a = FeatureMatrix::zeros(2, 3);
+        let b = FeatureMatrix::from_fn(2, 1, |r, _| r as f32);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.cols(), 4);
+        assert_eq!(c.row(1), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn scatter_max_and_add() {
+        let src = FeatureMatrix::from_vec(1, 2, vec![3.0, -1.0]);
+        let mut dst = FeatureMatrix::from_vec(1, 2, vec![2.0, 2.0]);
+        dst.scatter_max(0, &src, 0);
+        assert_eq!(dst.row(0), &[3.0, 2.0]);
+        dst.scatter_add(0, &src, 0);
+        assert_eq!(dst.row(0), &[6.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = FeatureMatrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        m.relu_in_place();
+        assert_eq!(m.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = FeatureMatrix::zeros(1, 2);
+        let b = FeatureMatrix::zeros(3, 1);
+        let _ = a.matmul(&b);
+    }
+}

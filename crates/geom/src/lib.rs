@@ -1,0 +1,44 @@
+//! Point cloud geometry substrate for the PointAcc reproduction.
+//!
+//! This crate provides the data structures shared by the whole workspace —
+//! lattice coordinates, continuous points, clouds, feature matrices and
+//! map tables — plus **golden reference implementations** of every mapping
+//! operation the paper discusses (farthest point sampling, k-nearest
+//! neighbors, ball query, hash-table kernel mapping, coordinate
+//! quantization).
+//!
+//! The accelerator model in the `pointacc` crate implements the same
+//! operations with the hardware's ranking-based algorithms and is tested
+//! for bit-identical results against this crate.
+//!
+//! # Quick example
+//!
+//! ```
+//! use pointacc_geom::{golden, Coord, VoxelCloud};
+//!
+//! // A tiny sparse tensor at stride 1.
+//! let cloud = VoxelCloud::from_unsorted(
+//!     vec![Coord::new(0, 0, 0), Coord::new(1, 1, 0), Coord::new(4, 2, 0)],
+//!     1,
+//! );
+//! // Kernel mapping for a 3×3×3 SparseConv.
+//! let maps = golden::kernel_map_hash(&cloud, &cloud, 3);
+//! assert_eq!(maps.n_weights(), 27);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cloud;
+mod coord;
+mod feature;
+mod maps;
+mod point;
+
+pub mod golden;
+
+pub use cloud::{PointSet, VoxelCloud};
+pub use coord::Coord;
+pub use feature::FeatureMatrix;
+pub use maps::{MapEntry, MapTable};
+pub use point::Point3;

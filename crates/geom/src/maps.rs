@@ -1,0 +1,206 @@
+//! Input→output maps: the product of every mapping operation.
+//!
+//! A *map* is the tuple `(input point index, output point index, weight
+//! index)` (paper §2). Point cloud convolution iterates over the maps,
+//! multiplies the input feature by the weight matrix selected by the weight
+//! index and aggregates the partial sum into the output point.
+
+/// One `(input, output, weight)` map tuple.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MapEntry {
+    /// Index of the input point in the input cloud.
+    pub input: u32,
+    /// Index of the output point in the output cloud.
+    pub output: u32,
+    /// Index of the weight matrix (kernel offset index for SparseConv,
+    /// always 0 for shared-weight PointNet++-style neighborhoods).
+    pub weight: u16,
+}
+
+impl MapEntry {
+    /// Creates a map entry.
+    pub fn new(input: u32, output: u32, weight: u16) -> Self {
+        MapEntry { input, output, weight }
+    }
+}
+
+/// A complete set of maps for one convolution layer, stored grouped by
+/// weight index (the *gather by weight* order of the CPU/GPU flow and of
+/// the weight-stationary inner loop of the accelerator).
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::{MapEntry, MapTable};
+/// let t = MapTable::from_entries(
+///     vec![MapEntry::new(0, 0, 1), MapEntry::new(1, 0, 0)],
+///     2,
+/// );
+/// assert_eq!(t.group(0), &[MapEntry::new(1, 0, 0)]);
+/// assert_eq!(t.group(1), &[MapEntry::new(0, 0, 1)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MapTable {
+    entries: Vec<MapEntry>,
+    /// CSR-style offsets: group `w` is `entries[offsets[w]..offsets[w+1]]`.
+    offsets: Vec<usize>,
+}
+
+impl MapTable {
+    /// Builds a table from unordered entries, grouping by weight index and
+    /// keeping the original relative order within a group (stable sort, so
+    /// the map order inside a weight group is the order the mapping
+    /// operation emitted — which for the merge-sort based unit is output
+    /// coordinate order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry's `weight >= n_weights`.
+    pub fn from_entries(mut entries: Vec<MapEntry>, n_weights: usize) -> Self {
+        assert!(
+            entries.iter().all(|e| (e.weight as usize) < n_weights),
+            "weight index out of range"
+        );
+        entries.sort_by_key(|e| e.weight);
+        let mut offsets = vec![0usize; n_weights + 1];
+        for e in &entries {
+            offsets[e.weight as usize + 1] += 1;
+        }
+        for w in 0..n_weights {
+            offsets[w + 1] += offsets[w];
+        }
+        MapTable { entries, offsets }
+    }
+
+    /// Number of weight groups.
+    pub fn n_weights(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of maps.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no maps.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The maps associated with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= n_weights`.
+    pub fn group(&self, w: usize) -> &[MapEntry] {
+        &self.entries[self.offsets[w]..self.offsets[w + 1]]
+    }
+
+    /// All entries, grouped by weight.
+    pub fn entries(&self) -> &[MapEntry] {
+        &self.entries
+    }
+
+    /// Map counts per weight group.
+    pub fn counts(&self) -> Vec<usize> {
+        (0..self.n_weights()).map(|w| self.group(w).len()).collect()
+    }
+
+    /// Builds the transposed table (inputs and outputs swapped, weight
+    /// index mirrored through `n_weights-1-w`), which is exactly the map
+    /// set of the corresponding transposed convolution used on the decoder
+    /// path of U-shaped SparseConv networks.
+    #[must_use]
+    pub fn transpose(&self) -> MapTable {
+        let n_w = self.n_weights();
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| MapEntry::new(e.output, e.input, (n_w - 1 - e.weight as usize) as u16))
+            .collect();
+        MapTable::from_entries(entries, n_w)
+    }
+
+    /// Returns entries sorted in canonical `(weight, output, input)` order;
+    /// used by tests to compare tables produced by different algorithms.
+    pub fn canonicalized(&self) -> Vec<MapEntry> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|e| (e.weight, e.output, e.input));
+        v
+    }
+
+    /// Average number of times each distinct input point is referenced
+    /// (feature-reuse factor; drives the cache hit rate of Fig. 18).
+    pub fn input_reuse(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let mut inputs: Vec<u32> = self.entries.iter().map(|e| e.input).collect();
+        inputs.sort_unstable();
+        inputs.dedup();
+        self.entries.len() as f64 / inputs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> MapTable {
+        MapTable::from_entries(
+            vec![
+                MapEntry::new(0, 1, 2),
+                MapEntry::new(1, 0, 0),
+                MapEntry::new(2, 2, 2),
+                MapEntry::new(3, 3, 1),
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn groups_partition_entries() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.group(0).len(), 1);
+        assert_eq!(t.group(1).len(), 1);
+        assert_eq!(t.group(2).len(), 2);
+        assert_eq!(t.counts(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn grouping_is_stable_within_weight() {
+        let t = MapTable::from_entries(
+            vec![MapEntry::new(5, 0, 1), MapEntry::new(3, 0, 1), MapEntry::new(4, 0, 0)],
+            2,
+        );
+        assert_eq!(t.group(1)[0].input, 5);
+        assert_eq!(t.group(1)[1].input, 3);
+    }
+
+    #[test]
+    fn transpose_swaps_and_mirrors() {
+        let t = table();
+        let tt = t.transpose();
+        assert_eq!(tt.len(), t.len());
+        // (0 -> 1, w2) becomes (1 -> 0, w0) with 3 weights.
+        assert!(tt.group(0).contains(&MapEntry::new(1, 0, 0)));
+        // Transposing twice is the identity.
+        assert_eq!(tt.transpose().canonicalized(), t.canonicalized());
+    }
+
+    #[test]
+    fn input_reuse_counts_duplicates() {
+        let t = MapTable::from_entries(
+            vec![MapEntry::new(0, 0, 0), MapEntry::new(0, 1, 0), MapEntry::new(1, 1, 0)],
+            1,
+        );
+        assert!((t.input_reuse() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight index out of range")]
+    fn weight_out_of_range_rejected() {
+        let _ = MapTable::from_entries(vec![MapEntry::new(0, 0, 5)], 2);
+    }
+}

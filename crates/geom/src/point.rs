@@ -1,0 +1,130 @@
+//! Continuous 3-D points used by PointNet++-style networks.
+//!
+//! PointNet++-based convolutions (farthest point sampling, ball query,
+//! k-nearest-neighbors) operate on raw sensor coordinates before any
+//! voxelization, so they need floating-point positions rather than the
+//! lattice [`crate::Coord`].
+
+use std::fmt;
+
+/// A continuous 3-D point.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::Point3;
+/// let a = Point3::new(0.0, 3.0, 4.0);
+/// assert_eq!(a.dist2(Point3::ORIGIN), 25.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct Point3 {
+    /// x component (meters in the synthetic datasets).
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// Creates a point from its components.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point3 = Point3::new(0.0, 0.0, 0.0);
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2(self, other: Point3) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Component-wise subtraction, yielding the offset `self - other`.
+    #[must_use]
+    pub fn sub(self, other: Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Component-wise addition.
+    #[must_use]
+    pub fn add(self, other: Point3) -> Point3 {
+        Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+
+    /// Uniform scaling.
+    #[must_use]
+    pub fn scale(self, s: f32) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f32 {
+        self.dist2(Point3::ORIGIN).sqrt()
+    }
+
+    /// Quantizes the point to an integer voxel coordinate at the given
+    /// voxel size, i.e. `floor(p / voxel_size)`. This is the voxelization
+    /// step that feeds SparseConv-based networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voxel_size` is not strictly positive and finite.
+    pub fn voxelize(self, voxel_size: f32) -> crate::Coord {
+        assert!(
+            voxel_size > 0.0 && voxel_size.is_finite(),
+            "voxel size must be positive and finite, got {voxel_size}"
+        );
+        crate::Coord::new(
+            (self.x / voxel_size).floor() as i32,
+            (self.y / voxel_size).floor() as i32,
+            (self.z / voxel_size).floor() as i32,
+        )
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(f32, f32, f32)> for Point3 {
+    fn from((x, y, z): (f32, f32, f32)) -> Self {
+        Point3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_basics() {
+        let a = Point3::new(1.0, 0.0, 0.0);
+        let b = Point3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dist2(b), 2.0);
+        assert_eq!(a.dist2(a), 0.0);
+    }
+
+    #[test]
+    fn voxelize_floors_toward_negative_infinity() {
+        let p = Point3::new(-0.01, 0.99, 1.0);
+        assert_eq!(p.voxelize(1.0), crate::Coord::new(-1, 0, 1));
+        assert_eq!(p.voxelize(0.5), crate::Coord::new(-1, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "voxel size must be positive")]
+    fn voxelize_rejects_zero() {
+        let _ = Point3::ORIGIN.voxelize(0.0);
+    }
+
+    #[test]
+    fn norm_of_345() {
+        assert!((Point3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-6);
+    }
+}

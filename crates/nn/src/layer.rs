@@ -1,0 +1,132 @@
+//! Network operator IR.
+//!
+//! A [`Network`](crate::Network) is an ordered list of [`Op`]s executed
+//! over a point cloud. The IR covers both convolution families of paper
+//! Table 1: SparseConv-based ops (voxel domain, per-offset weights,
+//! accumulation) and PointNet++-based ops (continuous domain, shared
+//! weights, max-pool aggregation), plus the dense glue (point-wise MLPs,
+//! heads).
+
+/// One operator in a network description.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Sparse 3-D convolution (MinkowskiNet-style). `stride == 1` keeps
+    /// the coordinate set; `stride == 2` constructs the output cloud by
+    /// coordinate quantization and pushes the pre-downsample state onto
+    /// the skip stack (U-Net encoder behaviour).
+    SparseConv {
+        /// Output channels.
+        out_ch: usize,
+        /// Cubic kernel size (2 or 3 in the evaluated networks).
+        kernel_size: usize,
+        /// Spatial stride (1 or 2).
+        stride: usize,
+    },
+    /// Transposed sparse convolution (stride-2 upsample). Pops the skip
+    /// stack to recover the finer coordinate set and concatenates the
+    /// skip features after the convolution (U-Net decoder behaviour).
+    SparseConvTr {
+        /// Output channels (before skip concatenation).
+        out_ch: usize,
+        /// Cubic kernel size.
+        kernel_size: usize,
+    },
+    /// Point-wise shared MLP: a chain of FC layers (with ReLU) applied to
+    /// every point independently. These are the fusable dense layers the
+    /// MMU's temporal layer fusion targets.
+    Mlp {
+        /// Output dimension of each FC in the chain.
+        dims: Vec<usize>,
+    },
+    /// PointNet++ set-abstraction layer: farthest point sampling to
+    /// `n_out` centroids, ball query grouping, shared MLP on grouped
+    /// features, max-pool over each neighborhood. Pushes the
+    /// pre-abstraction state onto the skip stack.
+    SetAbstraction {
+        /// Number of sampled centroids.
+        n_out: usize,
+        /// Ball query radius (same units as the point coordinates).
+        radius: f32,
+        /// Neighbors gathered per centroid.
+        k: usize,
+        /// Shared-MLP output dimensions.
+        dims: Vec<usize>,
+    },
+    /// Group-all set abstraction: one neighborhood containing every
+    /// point, producing a single global feature vector. Pushes skip.
+    GlobalSetAbstraction {
+        /// Shared-MLP output dimensions.
+        dims: Vec<usize>,
+    },
+    /// PointNet++ feature propagation: 3-NN inverse-distance
+    /// interpolation back to the finer cloud popped from the skip stack,
+    /// skip-feature concatenation, then a point-wise MLP.
+    FeaturePropagation {
+        /// MLP output dimensions.
+        dims: Vec<usize>,
+    },
+    /// DGCNN edge convolution: k-NN graph (in feature space), edge
+    /// features `concat(f_i, f_j − f_i)`, shared MLP, max over neighbors.
+    EdgeConv {
+        /// Neighbors per point.
+        k: usize,
+        /// Shared-MLP output dimensions.
+        dims: Vec<usize>,
+    },
+    /// Global max pool over all points, producing one feature vector.
+    GlobalMaxPool,
+    /// Classifier head: FC chain on the single global vector (ReLU
+    /// between layers, none after the last).
+    Head {
+        /// FC output dimensions; the last entry is the class count.
+        dims: Vec<usize>,
+    },
+}
+
+impl Op {
+    /// Short operator mnemonic for trace names.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::SparseConv { stride: 1, .. } => "conv",
+            Op::SparseConv { .. } => "conv_down",
+            Op::SparseConvTr { .. } => "conv_up",
+            Op::Mlp { .. } => "mlp",
+            Op::SetAbstraction { .. } => "sa",
+            Op::GlobalSetAbstraction { .. } => "sa_global",
+            Op::FeaturePropagation { .. } => "fp",
+            Op::EdgeConv { .. } => "edgeconv",
+            Op::GlobalMaxPool => "maxpool",
+            Op::Head { .. } => "head",
+        }
+    }
+
+    /// Whether this op is SparseConv-family (voxel domain).
+    pub fn is_sparse_conv(&self) -> bool {
+        matches!(self, Op::SparseConv { .. } | Op::SparseConvTr { .. })
+    }
+}
+
+/// Which convolution family dominates a network (paper Table 1's two
+/// rows); decides the input representation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Domain {
+    /// PointNet++-based (continuous points, FPS / ball query / kNN).
+    PointBased,
+    /// SparseConv-based (voxelized, quantization / kernel mapping).
+    VoxelBased,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_distinguish_strides() {
+        let c1 = Op::SparseConv { out_ch: 32, kernel_size: 3, stride: 1 };
+        let c2 = Op::SparseConv { out_ch: 32, kernel_size: 2, stride: 2 };
+        assert_eq!(c1.mnemonic(), "conv");
+        assert_eq!(c2.mnemonic(), "conv_down");
+        assert!(c1.is_sparse_conv());
+        assert!(!Op::GlobalMaxPool.is_sparse_conv());
+    }
+}

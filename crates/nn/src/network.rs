@@ -1,0 +1,121 @@
+//! Network descriptions: an ordered operator list plus input metadata.
+
+use crate::{Domain, Op};
+
+/// A complete network description.
+///
+/// Build one with [`Network::new`] and the chaining helpers, or take a
+/// ready-made benchmark from [`crate::zoo`].
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_nn::{Network, Op, Domain};
+/// let net = Network::new("tiny", Domain::VoxelBased, 4)
+///     .with_voxel_size(0.05)
+///     .push(Op::SparseConv { out_ch: 16, kernel_size: 3, stride: 1 })
+///     .push(Op::Mlp { dims: vec![32, 32] });
+/// assert_eq!(net.ops().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Network {
+    name: String,
+    domain: Domain,
+    in_ch: usize,
+    voxel_size: Option<f32>,
+    default_points: usize,
+    ops: Vec<Op>,
+}
+
+impl Network {
+    /// Creates an empty network with `in_ch` input feature channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_ch == 0`.
+    pub fn new(name: impl Into<String>, domain: Domain, in_ch: usize) -> Self {
+        assert!(in_ch > 0, "input channels must be nonzero");
+        Network {
+            name: name.into(),
+            domain,
+            in_ch,
+            voxel_size: None,
+            default_points: 1024,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Sets the voxel size used to quantize continuous input (required
+    /// for voxel-based networks).
+    #[must_use]
+    pub fn with_voxel_size(mut self, v: f32) -> Self {
+        self.voxel_size = Some(v);
+        self
+    }
+
+    /// Sets the canonical input point count for this network.
+    #[must_use]
+    pub fn with_default_points(mut self, n: usize) -> Self {
+        self.default_points = n;
+        self
+    }
+
+    /// Appends an operator.
+    #[must_use]
+    pub fn push(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Convolution family.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Input feature channels.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Voxel size, if voxel-based.
+    pub fn voxel_size(&self) -> Option<f32> {
+        self.voxel_size
+    }
+
+    /// Canonical input point count.
+    pub fn default_points(&self) -> usize {
+        self.default_points
+    }
+
+    /// The operator list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_ops() {
+        let n = Network::new("n", Domain::PointBased, 3)
+            .push(Op::GlobalMaxPool)
+            .push(Op::Head { dims: vec![10] })
+            .with_default_points(2048);
+        assert_eq!(n.ops().len(), 2);
+        assert_eq!(n.default_points(), 2048);
+        assert_eq!(n.in_ch(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn zero_channels_rejected() {
+        let _ = Network::new("bad", Domain::PointBased, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Network statistics (paper Fig. 2 and Fig. 5): #MACs, parameters,
+//! per-point feature footprint, plus 2-D CNN reference constants.
+
+use crate::{ComputeKind, NetworkTrace};
+
+/// Aggregate statistics of one executed network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkStats {
+    /// Network name.
+    pub name: String,
+    /// Total multiply-accumulates.
+    pub macs: u64,
+    /// MACs per input point (Fig. 5 middle).
+    pub macs_per_point: u64,
+    /// Total weight parameters.
+    pub params: u64,
+    /// Peak activation bytes per input point at fp16 (Fig. 5 right).
+    pub feature_bytes_per_point: u64,
+    /// Total maps across sparse layers.
+    pub maps: u64,
+    /// Total scalar mapping-operation work.
+    pub mapping_ops: u64,
+}
+
+/// Computes statistics from a trace.
+pub fn network_stats(trace: &NetworkTrace) -> NetworkStats {
+    let n = trace.input_points().max(1) as u64;
+    let params: u64 = trace
+        .layers
+        .iter()
+        .map(|l| match l.compute {
+            ComputeKind::SparseConv => {
+                let n_w = l.maps.as_ref().map_or(1, |m| m.n_weights()) as u64;
+                n_w * l.in_ch as u64 * l.out_ch as u64
+            }
+            ComputeKind::Grouped | ComputeKind::Dense => l.in_ch as u64 * l.out_ch as u64,
+            _ => 0,
+        })
+        .sum();
+    NetworkStats {
+        name: trace.network.clone(),
+        macs: trace.total_macs(),
+        macs_per_point: trace.total_macs() / n,
+        params,
+        feature_bytes_per_point: trace.peak_feature_bytes_per_point(2),
+        maps: trace.total_maps(),
+        mapping_ops: trace.total_mapping_ops(),
+    }
+}
+
+/// Reference statistics for models this reproduction does not execute
+/// (2-D CNNs of Fig. 2/5 and the projection-based LiDAR networks of
+/// Fig. 2). Accuracy values are quoted from the paper/literature and are
+/// labelled as such wherever printed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReferenceModel {
+    /// Model name.
+    pub name: &'static str,
+    /// Total MACs for the canonical input, in billions.
+    pub gmacs: f64,
+    /// Parameter count, millions.
+    pub mparams: f64,
+    /// Accuracy metric value (top-1 % or mIoU %), quoted.
+    pub accuracy: f64,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Whether the model processes 3-D points directly.
+    pub is_point_based: bool,
+}
+
+/// Fig. 2 reference set: projection-based 2-D CNNs vs point cloud
+/// networks on SemanticKITTI (accuracy numbers quoted from the paper's
+/// sources).
+pub const FIG2_MODELS: [ReferenceModel; 4] = [
+    ReferenceModel {
+        name: "SqueezeSeg",
+        gmacs: 13.0,
+        mparams: 1.0,
+        accuracy: 30.8,
+        metric: "mIoU",
+        is_point_based: false,
+    },
+    ReferenceModel {
+        name: "SalsaNext",
+        gmacs: 62.8,
+        mparams: 6.7,
+        accuracy: 59.5,
+        metric: "mIoU",
+        is_point_based: false,
+    },
+    ReferenceModel {
+        name: "MinkowskiNet",
+        gmacs: 114.0,
+        mparams: 21.7,
+        accuracy: 63.1,
+        metric: "mIoU",
+        is_point_based: true,
+    },
+    ReferenceModel {
+        name: "SPVNAS",
+        gmacs: 118.6,
+        mparams: 12.5,
+        accuracy: 66.4,
+        metric: "mIoU",
+        is_point_based: true,
+    },
+];
+
+/// Fig. 5 2-D CNN reference points (ImageNet classifiers).
+pub const CNN_MODELS: [ReferenceModel; 2] = [
+    ReferenceModel {
+        name: "MobileNetV2",
+        gmacs: 0.3,
+        mparams: 3.5,
+        accuracy: 71.9,
+        metric: "top-1",
+        is_point_based: false,
+    },
+    ReferenceModel {
+        name: "ResNet50",
+        gmacs: 4.1,
+        mparams: 25.6,
+        accuracy: 76.1,
+        metric: "top-1",
+        is_point_based: false,
+    },
+];
+
+/// MACs per input element for a 2-D CNN on its canonical input
+/// (224×224 pixels), for the Fig. 5 comparison.
+pub fn cnn_macs_per_pixel(model: &ReferenceModel) -> u64 {
+    ((model.gmacs * 1e9) / (224.0 * 224.0)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, ExecMode, Executor};
+    use pointacc_geom::{Point3, PointSet};
+
+    fn cloud(n: usize) -> PointSet {
+        (0..n)
+            .map(|i| {
+                let t = i as f32;
+                Point3::new((t * 0.7).sin(), (t * 0.3).cos(), (t * 0.11).sin() * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_are_positive_and_consistent() {
+        let out = Executor::new(ExecMode::Full, 1).run(&zoo::pointnet(), &cloud(256));
+        let s = network_stats(&out.trace);
+        assert!(s.macs > 0);
+        assert_eq!(s.macs_per_point, s.macs / 256);
+        assert!(s.params > 0);
+    }
+
+    #[test]
+    fn point_networks_have_higher_macs_per_point_than_cnns() {
+        // Fig. 5 middle: point cloud networks spend up to 100× more MACs
+        // per point than CNNs per pixel.
+        let out = Executor::new(ExecMode::TraceOnly, 1)
+            .run(&zoo::pointnet_pp_classification(), &cloud(1024));
+        let s = network_stats(&out.trace);
+        let resnet = cnn_macs_per_pixel(&CNN_MODELS[1]);
+        assert!(
+            s.macs_per_point > resnet,
+            "PointNet++ {} MACs/pt should exceed ResNet50 {} MACs/px",
+            s.macs_per_point,
+            resnet
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! Execution traces: the interface between the functional executor and
+//! every performance model (PointAcc, CPU/GPU/TPU baselines, Mesorasi).
+//!
+//! The reference executor records, for every executed layer, the exact
+//! map table, matrix dimensions and mapping operations — everything a
+//! timing model needs to replay the layer on its hardware.
+
+use pointacc_geom::MapTable;
+
+/// A mapping operation executed before a layer (paper §2.1). The fields
+/// carry the sizes a hardware model needs to cost the operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MappingOp {
+    /// Output cloud construction by coordinate quantization.
+    Quantize {
+        /// Input points.
+        n_in: usize,
+        /// Output (deduplicated) points.
+        n_out: usize,
+    },
+    /// Kernel mapping between an input and an output cloud.
+    KernelMap {
+        /// Input points.
+        n_in: usize,
+        /// Output points.
+        n_out: usize,
+        /// Number of kernel offsets (kernel_size³).
+        kernel_volume: usize,
+        /// Total maps found.
+        n_maps: usize,
+    },
+    /// Farthest point sampling.
+    Fps {
+        /// Input points.
+        n_in: usize,
+        /// Sampled output points (= iterations).
+        n_out: usize,
+    },
+    /// k-nearest-neighbors on point coordinates.
+    Knn {
+        /// Input points scanned per query.
+        n_in: usize,
+        /// Number of queries.
+        n_queries: usize,
+        /// Neighbors kept.
+        k: usize,
+    },
+    /// Ball query (radius-limited top-k).
+    BallQuery {
+        /// Input points scanned per query.
+        n_in: usize,
+        /// Number of queries.
+        n_queries: usize,
+        /// Neighbors kept.
+        k: usize,
+    },
+    /// k-NN in feature space (DGCNN); distance cost scales with the
+    /// feature dimension.
+    KnnFeature {
+        /// Input rows scanned per query.
+        n_in: usize,
+        /// Number of queries.
+        n_queries: usize,
+        /// Neighbors kept.
+        k: usize,
+        /// Feature dimensionality of the distance computation.
+        dim: usize,
+    },
+}
+
+impl MappingOp {
+    /// Number of scalar distance/compare operations a brute-force
+    /// implementation performs (the CPU/GPU cost driver).
+    pub fn scalar_ops(&self) -> u64 {
+        match *self {
+            MappingOp::Quantize { n_in, .. } => n_in as u64,
+            MappingOp::KernelMap { n_in, n_out, kernel_volume, .. } => {
+                // One hash probe per (output, offset) + table build.
+                (n_out as u64) * kernel_volume as u64 + n_in as u64
+            }
+            MappingOp::Fps { n_in, n_out } => (n_in as u64) * n_out as u64,
+            MappingOp::Knn { n_in, n_queries, .. }
+            | MappingOp::BallQuery { n_in, n_queries, .. } => (n_in as u64) * n_queries as u64,
+            MappingOp::KnnFeature { n_in, n_queries, dim, .. } => {
+                (n_in as u64) * n_queries as u64 * dim as u64
+            }
+        }
+    }
+}
+
+/// How a layer's matrix computation consumes its inputs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ComputeKind {
+    /// Map-guided sparse convolution: gather by weight, per-offset
+    /// matmul, scatter-accumulate by output.
+    SparseConv,
+    /// Shared-weight matmul over gathered neighborhood rows
+    /// (PointNet++-style; `maps` describe the gather).
+    Grouped,
+    /// Dense point-wise FC (rows already contiguous; fusable).
+    Dense,
+    /// Map-guided interpolation (feature propagation): one
+    /// multiply-accumulate per map per channel, no weight matrix.
+    Interpolate,
+    /// Pure reduction (global max pool): no MACs.
+    Pool,
+}
+
+/// Aggregation applied to partial sums after scatter (paper Table 1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Aggregation {
+    /// Accumulation (SparseConv family).
+    Sum,
+    /// Max-pooling over each neighborhood (PointNet++ family).
+    Max,
+    /// No cross-row aggregation.
+    None,
+}
+
+/// Record of one executed layer.
+#[derive(Clone, Debug)]
+pub struct LayerTrace {
+    /// Human-readable layer name, e.g. `"enc2.conv_down"`.
+    pub name: String,
+    /// Matrix-computation kind.
+    pub compute: ComputeKind,
+    /// Points (or rows) in the layer's input tensor.
+    pub n_in: usize,
+    /// Rows in the layer's output tensor (before any pooling).
+    pub n_out: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Map table guiding gather/scatter (`None` for dense layers).
+    pub maps: Option<MapTable>,
+    /// Mapping operations executed to produce `maps`.
+    pub mapping: Vec<MappingOp>,
+    /// Post-scatter aggregation.
+    pub aggregation: Aggregation,
+    /// If `Some(g)`, the `n_out` rows are max-pooled in groups of `g`
+    /// after the matmul (neighborhood pooling).
+    pub pool_group: Option<usize>,
+    /// Whether the MMU may temporally fuse this layer with dense
+    /// neighbors (consecutive FC layers, paper §4.2.4).
+    pub fusable: bool,
+}
+
+impl LayerTrace {
+    /// Multiply-accumulate count of the layer.
+    pub fn macs(&self) -> u64 {
+        match self.compute {
+            ComputeKind::SparseConv => {
+                let maps = self.maps.as_ref().map_or(0, MapTable::len) as u64;
+                maps * self.in_ch as u64 * self.out_ch as u64
+            }
+            ComputeKind::Grouped | ComputeKind::Dense => {
+                self.n_out as u64 * self.in_ch as u64 * self.out_ch as u64
+            }
+            ComputeKind::Interpolate => {
+                let maps = self.maps.as_ref().map_or(0, MapTable::len) as u64;
+                maps * self.out_ch as u64
+            }
+            ComputeKind::Pool => 0,
+        }
+    }
+
+    /// Bytes of input features the layer reads from DRAM at `bytes_per
+    /// _element` precision, assuming no reuse (upper bound; the MMU's job
+    /// is to beat this).
+    pub fn input_feature_bytes(&self, bytes_per_element: usize) -> u64 {
+        let reads = match (&self.compute, &self.maps) {
+            (ComputeKind::SparseConv | ComputeKind::Grouped | ComputeKind::Interpolate, Some(m)) => {
+                m.len() as u64
+            }
+            _ => self.n_in as u64,
+        };
+        reads * self.in_ch as u64 * bytes_per_element as u64
+    }
+
+    /// Bytes of output features written at the given precision.
+    pub fn output_feature_bytes(&self, bytes_per_element: usize) -> u64 {
+        let rows = self.pool_group.map_or(self.n_out, |g| self.n_out / g.max(1));
+        rows as u64 * self.out_ch as u64 * bytes_per_element as u64
+    }
+
+    /// Weight bytes of the layer at the given precision.
+    pub fn weight_bytes(&self, bytes_per_element: usize) -> u64 {
+        let n_w = self.maps.as_ref().map_or(1, MapTable::n_weights).max(1) as u64;
+        match self.compute {
+            ComputeKind::SparseConv => {
+                n_w * self.in_ch as u64 * self.out_ch as u64 * bytes_per_element as u64
+            }
+            ComputeKind::Grouped | ComputeKind::Dense => {
+                self.in_ch as u64 * self.out_ch as u64 * bytes_per_element as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Total scalar mapping-op cost preceding this layer.
+    pub fn mapping_scalar_ops(&self) -> u64 {
+        self.mapping.iter().map(MappingOp::scalar_ops).sum()
+    }
+}
+
+/// Trace of a full network execution.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkTrace {
+    /// Network name.
+    pub network: String,
+    /// Input description (dataset / point count), free-form.
+    pub input_desc: String,
+    /// Per-layer records, in execution order.
+    pub layers: Vec<LayerTrace>,
+}
+
+impl NetworkTrace {
+    /// Total multiply-accumulates.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerTrace::macs).sum()
+    }
+
+    /// Total maps across all layers.
+    pub fn total_maps(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter_map(|l| l.maps.as_ref())
+            .map(|m| m.len() as u64)
+            .sum()
+    }
+
+    /// Total scalar mapping-operation work.
+    pub fn total_mapping_ops(&self) -> u64 {
+        self.layers.iter().map(LayerTrace::mapping_scalar_ops).sum()
+    }
+
+    /// Peak feature bytes per input point at the given precision: the
+    /// largest per-point activation footprint any layer produces
+    /// (paper Fig. 5 right).
+    pub fn peak_feature_bytes_per_point(&self, bytes_per_element: usize) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                let rows = l.n_out.max(1) as u64;
+                let per_point = rows * l.out_ch as u64 * bytes_per_element as u64
+                    / self.input_points().max(1) as u64;
+                per_point
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of points at the network input.
+    pub fn input_points(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.n_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc_geom::{MapEntry, MapTable};
+
+    fn sparse_layer() -> LayerTrace {
+        let maps = MapTable::from_entries(
+            vec![
+                MapEntry::new(0, 0, 0),
+                MapEntry::new(1, 0, 1),
+                MapEntry::new(1, 1, 0),
+            ],
+            2,
+        );
+        LayerTrace {
+            name: "conv".into(),
+            compute: ComputeKind::SparseConv,
+            n_in: 2,
+            n_out: 2,
+            in_ch: 4,
+            out_ch: 8,
+            maps: Some(maps),
+            mapping: vec![MappingOp::KernelMap { n_in: 2, n_out: 2, kernel_volume: 2, n_maps: 3 }],
+            aggregation: Aggregation::Sum,
+            pool_group: None,
+            fusable: false,
+        }
+    }
+
+    #[test]
+    fn sparse_macs_count_maps() {
+        assert_eq!(sparse_layer().macs(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn dense_macs_count_rows() {
+        let l = LayerTrace {
+            compute: ComputeKind::Dense,
+            maps: None,
+            mapping: vec![],
+            n_out: 10,
+            ..sparse_layer()
+        };
+        assert_eq!(l.macs(), 10 * 4 * 8);
+    }
+
+    #[test]
+    fn pool_has_no_macs() {
+        let l = LayerTrace { compute: ComputeKind::Pool, ..sparse_layer() };
+        assert_eq!(l.macs(), 0);
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_offsets() {
+        let l = sparse_layer();
+        assert_eq!(l.weight_bytes(2), 2 * 4 * 8 * 2);
+    }
+
+    #[test]
+    fn trace_totals() {
+        let t = NetworkTrace {
+            network: "t".into(),
+            input_desc: "x".into(),
+            layers: vec![sparse_layer(), sparse_layer()],
+        };
+        assert_eq!(t.total_macs(), 2 * 3 * 4 * 8);
+        assert_eq!(t.total_maps(), 6);
+        assert!(t.total_mapping_ops() > 0);
+    }
+
+    #[test]
+    fn mapping_op_costs_positive() {
+        for op in [
+            MappingOp::Quantize { n_in: 10, n_out: 5 },
+            MappingOp::KernelMap { n_in: 10, n_out: 5, kernel_volume: 27, n_maps: 40 },
+            MappingOp::Fps { n_in: 10, n_out: 4 },
+            MappingOp::Knn { n_in: 10, n_queries: 4, k: 2 },
+            MappingOp::BallQuery { n_in: 10, n_queries: 4, k: 2 },
+            MappingOp::KnnFeature { n_in: 10, n_queries: 4, k: 2, dim: 16 },
+        ] {
+            assert!(op.scalar_ops() > 0, "{op:?}");
+        }
+    }
+}

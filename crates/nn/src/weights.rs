@@ -1,0 +1,73 @@
+//! Deterministic pseudo-random weight generation.
+//!
+//! No training happens in this reproduction, so weights only need to be
+//! deterministic (same network → same outputs everywhere) and numerically
+//! tame (Kaiming-style scaling so activations neither vanish nor explode
+//! through deep stacks).
+
+use pointacc_geom::FeatureMatrix;
+
+/// Stateless deterministic weight generator. Weight `(layer, r, c)` is a
+/// pure function of `(network_seed, layer_index, r, c)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WeightGen {
+    seed: u64,
+}
+
+impl WeightGen {
+    /// Creates a generator for one network instance.
+    pub fn new(seed: u64) -> Self {
+        WeightGen { seed }
+    }
+
+    /// The `in_ch × out_ch` weight matrix of layer `layer_index` (and
+    /// weight-offset `w` for sparse convolutions; pass 0 otherwise).
+    /// Entries are uniform in `[-a, a]` with `a = sqrt(3 / in_ch)`
+    /// (unit fan-in variance).
+    pub fn matrix(&self, layer_index: usize, w: usize, in_ch: usize, out_ch: usize) -> FeatureMatrix {
+        let a = (3.0 / in_ch as f32).sqrt();
+        let base = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((layer_index as u64) << 32 | w as u64);
+        FeatureMatrix::from_fn(in_ch, out_ch, |r, c| {
+            let h = splitmix64(base ^ ((r as u64) << 20) ^ c as u64);
+            // Map to [-a, a).
+            let u = (h >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+            (2.0 * u - 1.0) * a
+        })
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_deterministic() {
+        let g = WeightGen::new(1);
+        assert_eq!(g.matrix(3, 1, 8, 4), g.matrix(3, 1, 8, 4));
+        assert_ne!(g.matrix(3, 1, 8, 4), g.matrix(3, 2, 8, 4));
+        assert_ne!(g.matrix(3, 1, 8, 4), WeightGen::new(2).matrix(3, 1, 8, 4));
+    }
+
+    #[test]
+    fn weights_are_bounded() {
+        let g = WeightGen::new(7);
+        let m = g.matrix(0, 0, 64, 64);
+        let a = (3.0f32 / 64.0).sqrt();
+        for &v in m.data() {
+            assert!(v.abs() <= a + 1e-6);
+        }
+        // Not all zero.
+        assert!(m.data().iter().any(|&v| v.abs() > 1e-4));
+    }
+}

@@ -1,0 +1,114 @@
+//! 40 nm silicon-area model.
+//!
+//! Used for Table 3 (PointAcc 15.7 mm², PointAcc.Edge 3.9 mm²) and the
+//! §4.1.1 claim that the merge-sort kernel-mapping engine is ~14× smaller
+//! than a hash-table engine of the same parallelism (whose crossbar grows
+//! O(N²)).
+
+use crate::{BitonicMerger, BitonicSorter, SramSpec};
+
+/// Area of one 16-bit MAC processing element with local registers, mm².
+pub const PE_AREA_MM2: f64 = 0.0029;
+
+/// Area of one 96-bit compare-exchange element, mm².
+pub const COMPARATOR_AREA_MM2: f64 = 0.0010;
+
+/// Area of one crossbar crosspoint (mux + wiring share) in a parallel
+/// hash-table engine, mm². The engine needs an N×N crossbar for parallel
+/// random SRAM reads (paper §4.1.1), so its area grows quadratically.
+pub const CROSSPOINT_AREA_MM2: f64 = 0.00022;
+
+/// Fixed overhead (control, NoC, I/O ring) as a fraction of logic+SRAM.
+pub const OVERHEAD_FRACTION: f64 = 0.12;
+
+/// Area of a systolic array of `rows × cols` PEs.
+pub fn systolic_area_mm2(rows: usize, cols: usize) -> f64 {
+    (rows * cols) as f64 * PE_AREA_MM2
+}
+
+/// Area of the MPU's ranking datapath at merger width `n`: two N/2
+/// bitonic sorters plus an N merger plus the intersection detector
+/// (log N comparator stages over N lanes).
+pub fn mpu_area_mm2(n: usize) -> f64 {
+    let merger = BitonicMerger::new(n).comparators();
+    let sorters = 2 * BitonicSorter::new((n / 2).max(2)).comparators();
+    let detector = n * n.trailing_zeros() as usize; // shift/zero-count lanes
+    (merger + sorters + detector) as f64 * COMPARATOR_AREA_MM2
+}
+
+/// Area of just the merge-sort kernel-mapping engine: the N merger plus
+/// the intersection detector (the sorters are shared MPU infrastructure
+/// that both designs would keep for FPS/top-k). This is the "mergesort-
+/// based solution" side of the paper's §4.1.1 area comparison.
+pub fn mergesort_engine_area_mm2(n: usize) -> f64 {
+    let merger = BitonicMerger::new(n).comparators();
+    let detector = n * n.trailing_zeros() as usize;
+    (merger + detector) as f64 * COMPARATOR_AREA_MM2
+}
+
+/// Area of a parallel hash-table kernel-mapping engine with `n` query
+/// lanes: n hash/compare lanes, the on-chip table SRAM (built on the fly,
+/// sized for the working set — megabytes for 10⁵-point clouds at load
+/// factor 2, paper §4.1.1), and the N×N crossbar needed for parallel
+/// random reads, which grows O(N²).
+pub fn hash_engine_area_mm2(n: usize, table_bytes: usize) -> f64 {
+    let lanes = n as f64 * COMPARATOR_AREA_MM2 * 2.0;
+    let crossbar = (n * n) as f64 * CROSSPOINT_AREA_MM2;
+    let sram = SramSpec::new(table_bytes, 16).area_mm2();
+    lanes + crossbar + sram
+}
+
+/// Hash-table bytes needed for `n_points` at load factor 2 with 32-byte
+/// entries (12 B coordinate key padded for banked access, 4 B index,
+/// occupancy/chaining metadata).
+pub fn hash_table_bytes(n_points: usize) -> usize {
+    n_points * 2 * 32
+}
+
+/// Total accelerator area: systolic array + SRAM buffers + MPU datapath,
+/// plus the fixed overhead fraction.
+pub fn accelerator_area_mm2(pe_rows: usize, pe_cols: usize, sram_bytes: usize, merger_width: usize) -> f64 {
+    let logic = systolic_area_mm2(pe_rows, pe_cols) + mpu_area_mm2(merger_width);
+    let sram = SramSpec::new(sram_bytes, 16).area_mm2() * (sram_bytes as f64 / 16_384.0).max(1.0).ln().max(1.0);
+    (logic + sram) * (1.0 + OVERHEAD_FRACTION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pointacc_area_near_paper() {
+        // Paper Table 3: 15.7 mm² for 64×64 PEs + 776 KB SRAM @ 40 nm.
+        let a = accelerator_area_mm2(64, 64, 776 * 1024, 64);
+        assert!(a > 10.0 && a < 22.0, "full area {a} should be near 15.7 mm²");
+    }
+
+    #[test]
+    fn edge_pointacc_area_near_paper() {
+        // Paper Table 3: 3.9 mm² for 16×16 PEs + 274 KB SRAM.
+        let a = accelerator_area_mm2(16, 16, 274 * 1024, 16);
+        assert!(a > 1.0 && a < 6.0, "edge area {a} should be near 3.9 mm²");
+    }
+
+    #[test]
+    fn hash_engine_dwarfs_mergesort_engine() {
+        // §4.1.1: "saving up to 14× area compared to the hash-table-based
+        // design with the same parallelism". Working set: a 10⁵-point
+        // outdoor scan.
+        let merge = mergesort_engine_area_mm2(64);
+        let hash = hash_engine_area_mm2(64, hash_table_bytes(100_000));
+        let ratio = hash / merge;
+        assert!(
+            ratio > 8.0 && ratio < 30.0,
+            "hash/mergesort area ratio should be near 14×, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn crossbar_grows_quadratically() {
+        let a16 = hash_engine_area_mm2(16, 64 * 1024);
+        let a64 = hash_engine_area_mm2(64, 64 * 1024);
+        assert!(a64 / a16 > 5.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cycle and time accounting newtypes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A count of clock cycles.
+///
+/// Newtype so that cycle counts cannot be silently mixed with byte counts
+/// or nanoseconds (C-NEWTYPE).
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_sim::Cycles;
+/// let total: Cycles = [Cycles::new(3), Cycles::new(4)].into_iter().sum();
+/// assert_eq!(total.get(), 7);
+/// assert!((total.to_seconds(1.0e9) - 7.0e-9).abs() < 1e-18);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to wall-clock seconds at `freq_hz`.
+    pub fn to_seconds(self, freq_hz: f64) -> f64 {
+        self.0 as f64 / freq_hz
+    }
+
+    /// Converts to milliseconds at `freq_hz`.
+    pub fn to_millis(self, freq_hz: f64) -> f64 {
+        self.to_seconds(freq_hz) * 1e3
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two counts (for overlap models where units run
+    /// concurrently).
+    #[must_use]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// Energy in picojoules.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_sim::PicoJoules;
+/// let e = PicoJoules::new(2.5e6);
+/// assert!((e.to_millijoules() - 2.5e-3).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, PartialEq, PartialOrd, Debug, Default)]
+pub struct PicoJoules(f64);
+
+impl PicoJoules {
+    /// Zero energy.
+    pub const ZERO: PicoJoules = PicoJoules(0.0);
+
+    /// Wraps a raw pJ value.
+    pub const fn new(pj: f64) -> Self {
+        PicoJoules(pj)
+    }
+
+    /// The raw pJ value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to millijoules.
+    pub fn to_millijoules(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Converts to joules.
+    pub fn to_joules(self) -> f64 {
+        self.0 * 1e-12
+    }
+}
+
+impl Add for PicoJoules {
+    type Output = PicoJoules;
+    fn add(self, rhs: PicoJoules) -> PicoJoules {
+        PicoJoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for PicoJoules {
+    fn add_assign(&mut self, rhs: PicoJoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for PicoJoules {
+    type Output = PicoJoules;
+    fn mul(self, rhs: f64) -> PicoJoules {
+        PicoJoules(self.0 * rhs)
+    }
+}
+
+impl Sum for PicoJoules {
+    fn sum<I: Iterator<Item = PicoJoules>>(iter: I) -> PicoJoules {
+        iter.fold(PicoJoules::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for PicoJoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} pJ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).get(), 13);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!((b * 4).get(), 12);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let c = Cycles::new(1_000_000);
+        assert!((c.to_millis(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let mut e = PicoJoules::new(1.0);
+        e += PicoJoules::new(2.0);
+        assert!((e.get() - 3.0).abs() < 1e-12);
+        assert!(((e * 2.0).get() - 6.0).abs() < 1e-12);
+    }
+}

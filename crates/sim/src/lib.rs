@@ -1,0 +1,51 @@
+//! Hardware-modeling substrates for the PointAcc reproduction.
+//!
+//! The paper's evaluation stack is: a cycle-accurate simulator verified
+//! against the Verilog RTL, Ramulator for DRAM, CACTI for SRAM energy,
+//! and Cadence Genus synthesis at TSMC 40 nm for area/power. This crate
+//! rebuilds that stack's *modeling layer*:
+//!
+//! - [`Cycles`] / [`PicoJoules`] — accounting newtypes.
+//! - [`DramChannel`] / [`DramKind`] — bandwidth/latency/energy DRAM model
+//!   (Ramulator substitute).
+//! - [`SramSpec`] / [`SramCounter`] — capacity-scaled SRAM energy/area
+//!   (CACTI substitute).
+//! - [`EnergyTable`] — 40 nm per-operation logic energies.
+//! - [`SystolicArray`] — weight-stationary systolic timing + functional
+//!   model (the Matrix Unit's core).
+//! - [`BitonicSorter`] / [`BitonicMerger`] / [`SortItem`] — sorting-network
+//!   primitives the Mapping Unit is built from.
+//! - [`area`] — 40 nm silicon area model, including the hash-table-engine
+//!   comparison of paper §4.1.1.
+//!
+//! # Example
+//!
+//! ```
+//! use pointacc_sim::{DramChannel, DramKind, SystolicArray};
+//!
+//! let arr = SystolicArray::new(64, 64);
+//! let cycles = arr.matmul_cycles(100_000, 64, 64);
+//!
+//! let mut dram = DramChannel::new(DramKind::Hbm2);
+//! dram.read(100_000 * 64 * 2); // fp16 activations
+//! let overlapped = cycles.max(dram.transfer_cycles(1.0e9));
+//! assert!(overlapped >= cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+mod cycles;
+mod dram;
+mod energy;
+mod sorter;
+mod sram;
+mod systolic;
+
+pub use cycles::{Cycles, PicoJoules};
+pub use dram::{DramChannel, DramKind};
+pub use energy::EnergyTable;
+pub use sorter::{BitonicMerger, BitonicSorter, SortItem};
+pub use sram::{SramCounter, SramSpec};
+pub use systolic::SystolicArray;

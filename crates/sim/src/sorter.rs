@@ -1,0 +1,227 @@
+//! Bitonic sorting-network primitives for the Mapping Unit.
+//!
+//! The MPU is built from two N/2-input bitonic sorters (stage ST) feeding
+//! an N-input bitonic merger (stage MS), paper Fig. 7. This module models
+//! one *combinational pass* of those networks: functional output,
+//! comparator-evaluation counts (for energy) and comparator totals (for
+//! area). The streaming machinery that handles arbitrary-length inputs
+//! (forwarding loops, sliding windows) lives in `pointacc::mpu`, built on
+//! these primitives.
+
+/// One element flowing through a sorting network: a 96-bit-class
+/// comparator key plus an opaque payload (the paper's
+/// `ComparatorStruct`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SortItem {
+    /// Comparator key (packed coordinates or distance).
+    pub key: u128,
+    /// Payload carried alongside (point index, source tag, …).
+    pub payload: u64,
+}
+
+impl SortItem {
+    /// Creates an item.
+    pub const fn new(key: u128, payload: u64) -> Self {
+        SortItem { key, payload }
+    }
+}
+
+/// An N-input bitonic merger: merges two sorted N/2-element runs per pass.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_sim::{BitonicMerger, SortItem};
+/// let m = BitonicMerger::new(8);
+/// let a: Vec<_> = [1u128, 3, 5, 7].iter().map(|&k| SortItem::new(k, 0)).collect();
+/// let b: Vec<_> = [2u128, 4, 6, 8].iter().map(|&k| SortItem::new(k, 1)).collect();
+/// let merged = m.merge(&a, &b);
+/// assert!(merged.windows(2).all(|w| w[0].key <= w[1].key));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BitonicMerger {
+    n: usize,
+}
+
+impl BitonicMerger {
+    /// Creates an N-input merger.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "merger width must be a power of two ≥ 2");
+        BitonicMerger { n }
+    }
+
+    /// Merger width N.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Pipeline depth (comparator stages): `log2(N)`.
+    pub fn stages(&self) -> u32 {
+        self.n.trailing_zeros()
+    }
+
+    /// Comparators in the network: `N/2 · log2(N)`.
+    pub fn comparators(&self) -> usize {
+        self.n / 2 * self.stages() as usize
+    }
+
+    /// Comparator evaluations per pass (equals [`Self::comparators`]; the
+    /// network is fully exercised each cycle).
+    pub fn evals_per_pass(&self) -> u64 {
+        self.comparators() as u64
+    }
+
+    /// Functionally merges two sorted runs of exactly N/2 items into one
+    /// sorted run of N. This models one combinational pass of the
+    /// hardware merger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is not exactly N/2 long, or (debug builds)
+    /// not sorted.
+    pub fn merge(&self, a: &[SortItem], b: &[SortItem]) -> Vec<SortItem> {
+        let h = self.n / 2;
+        assert_eq!(a.len(), h, "first run must be N/2 items");
+        assert_eq!(b.len(), h, "second run must be N/2 items");
+        debug_assert!(a.windows(2).all(|w| w[0].key <= w[1].key), "run A not sorted");
+        debug_assert!(b.windows(2).all(|w| w[0].key <= w[1].key), "run B not sorted");
+        // Ascending ++ descending forms a bitonic sequence.
+        let mut v: Vec<SortItem> = Vec::with_capacity(self.n);
+        v.extend_from_slice(a);
+        v.extend(b.iter().rev().copied());
+        bitonic_merge_in_place(&mut v);
+        v
+    }
+}
+
+/// An N-input bitonic sorter (full sorting network over unsorted input).
+///
+/// Stage ST of the MPU contains two of these at width N/2.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BitonicSorter {
+    n: usize,
+}
+
+impl BitonicSorter {
+    /// Creates an N-input sorter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "sorter width must be a power of two ≥ 2");
+        BitonicSorter { n }
+    }
+
+    /// Sorter width N.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Comparator stages: `log2(N)·(log2(N)+1)/2`.
+    pub fn stages(&self) -> u32 {
+        let l = self.n.trailing_zeros();
+        l * (l + 1) / 2
+    }
+
+    /// Comparators in the network: `N/2` per stage.
+    pub fn comparators(&self) -> usize {
+        self.n / 2 * self.stages() as usize
+    }
+
+    /// Functionally sorts exactly N items (one combinational pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != N`.
+    pub fn sort(&self, items: &[SortItem]) -> Vec<SortItem> {
+        assert_eq!(items.len(), self.n, "sorter takes exactly N items");
+        let mut v = items.to_vec();
+        // The network computes a fixed permutation; a comparison sort
+        // with the same key order is functionally identical.
+        v.sort_by_key(|i| i.key);
+        v
+    }
+}
+
+/// Recursive bitonic merge of a bitonic sequence (functional model of the
+/// merger's comparator stages).
+fn bitonic_merge_in_place(v: &mut [SortItem]) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    let h = n / 2;
+    for i in 0..h {
+        if v[i].key > v[i + h].key {
+            v.swap(i, i + h);
+        }
+    }
+    let (lo, hi) = v.split_at_mut(h);
+    bitonic_merge_in_place(lo);
+    bitonic_merge_in_place(hi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(keys: &[u128]) -> Vec<SortItem> {
+        keys.iter().enumerate().map(|(i, &k)| SortItem::new(k, i as u64)).collect()
+    }
+
+    #[test]
+    fn merge_interleaved_runs() {
+        let m = BitonicMerger::new(8);
+        let out = m.merge(&items(&[0, 2, 4, 6]), &items(&[1, 3, 5, 7]));
+        let keys: Vec<u128> = out.iter().map(|i| i.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn merge_with_duplicates_keeps_both() {
+        let m = BitonicMerger::new(4);
+        let out = m.merge(&items(&[5, 5]), &items(&[5, 9]));
+        let keys: Vec<u128> = out.iter().map(|i| i.key).collect();
+        assert_eq!(keys, vec![5, 5, 5, 9]);
+    }
+
+    #[test]
+    fn merger_structure_counts() {
+        let m = BitonicMerger::new(64);
+        assert_eq!(m.stages(), 6);
+        assert_eq!(m.comparators(), 192);
+    }
+
+    #[test]
+    fn sorter_structure_counts() {
+        let s = BitonicSorter::new(32);
+        assert_eq!(s.stages(), 15);
+        assert_eq!(s.comparators(), 240);
+    }
+
+    #[test]
+    fn sorter_sorts() {
+        let s = BitonicSorter::new(8);
+        let out = s.sort(&items(&[5, 1, 9, 0, 3, 3, 7, 2]));
+        let keys: Vec<u128> = out.iter().map(|i| i.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = BitonicMerger::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "N/2 items")]
+    fn wrong_run_length_rejected() {
+        let m = BitonicMerger::new(8);
+        let _ = m.merge(&items(&[1, 2, 3]), &items(&[4, 5, 6]));
+    }
+}

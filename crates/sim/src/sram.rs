@@ -1,0 +1,149 @@
+//! On-chip SRAM energy and area model (CACTI substitute).
+//!
+//! The paper obtains SRAM energy with CACTI [25] at the 40 nm node. This
+//! module reproduces CACTI's role: given a buffer's capacity and word
+//! width, produce per-access read/write energy and macro area. Constants
+//! follow published 40 nm SRAM survey data (read energy grows roughly with
+//! the square root of capacity for a fixed word width).
+
+use crate::PicoJoules;
+
+/// Specification of one on-chip SRAM buffer.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SramSpec {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Word (port) width in bytes per access.
+    pub word_bytes: usize,
+}
+
+impl SramSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or word width is zero.
+    pub fn new(bytes: usize, word_bytes: usize) -> Self {
+        assert!(bytes > 0 && word_bytes > 0, "SRAM spec must be nonzero");
+        SramSpec { bytes, word_bytes }
+    }
+
+    /// Energy of one read access.
+    ///
+    /// 40 nm fit: `E_read ≈ (0.08 · sqrt(KB) + 0.10) pJ/byte` of word
+    /// width. An 8 KB buffer reads at ≈ 0.33 pJ/B; a 256 KB buffer at
+    /// ≈ 1.4 pJ/B.
+    pub fn read_energy(self) -> PicoJoules {
+        let kb = self.bytes as f64 / 1024.0;
+        let pj_per_byte = 0.08 * kb.sqrt() + 0.10;
+        PicoJoules::new(pj_per_byte * self.word_bytes as f64)
+    }
+
+    /// Energy of one write access (≈ 1.2× read at this node).
+    pub fn write_energy(self) -> PicoJoules {
+        self.read_energy() * 1.2
+    }
+
+    /// Macro area in mm², 40 nm: ≈ 0.015 mm² per 8 KB plus periphery.
+    pub fn area_mm2(self) -> f64 {
+        let kb = self.bytes as f64 / 1024.0;
+        0.015 * (kb / 8.0) + 0.002
+    }
+}
+
+/// An accounting SRAM: counts accesses against a spec.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_sim::{SramCounter, SramSpec};
+/// let mut s = SramCounter::new(SramSpec::new(64 * 1024, 16));
+/// s.record_reads(100);
+/// assert!(s.energy().get() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SramCounter {
+    spec: SramSpec,
+    reads: u64,
+    writes: u64,
+}
+
+impl SramCounter {
+    /// New counter over a spec.
+    pub fn new(spec: SramSpec) -> Self {
+        SramCounter { spec, reads: 0, writes: 0 }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> SramSpec {
+        self.spec
+    }
+
+    /// Records `n` word reads.
+    pub fn record_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
+    /// Records `n` word writes.
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Read count.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write count.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total access energy.
+    pub fn energy(&self) -> PicoJoules {
+        self.spec.read_energy() * self.reads as f64
+            + self.spec.write_energy() * self.writes as f64
+    }
+
+    /// Clears the counters.
+    pub fn reset(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_sram_costs_more_per_access() {
+        let small = SramSpec::new(8 * 1024, 16);
+        let big = SramSpec::new(256 * 1024, 16);
+        assert!(big.read_energy().get() > small.read_energy().get());
+        assert!(big.area_mm2() > small.area_mm2());
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let s = SramSpec::new(32 * 1024, 8);
+        assert!(s.write_energy().get() > s.read_energy().get());
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = SramCounter::new(SramSpec::new(8 * 1024, 4));
+        c.record_reads(10);
+        c.record_writes(5);
+        let e = c.energy().get();
+        assert!(e > 0.0);
+        c.reset();
+        assert_eq!(c.energy().get(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_spec_rejected() {
+        let _ = SramSpec::new(0, 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! LiDAR semantic segmentation scenario: a synthetic SemanticKITTI sweep
+//! through MinkowskiUNet, comparing PointAcc against GPU/CPU baselines —
+//! the workload of the paper's headline result.
+//!
+//! ```sh
+//! cargo run --release --example lidar_segmentation
+//! ```
+
+use pointacc::{Accelerator, PointAccConfig};
+use pointacc_baselines::Platform;
+use pointacc_data::Dataset;
+use pointacc_nn::{zoo, ExecMode, Executor};
+
+fn main() {
+    let n_points = 40_000;
+    let sweep = Dataset::SemanticKitti.generate(3, n_points);
+    let (voxels, _) = sweep.voxelize(0.1);
+    println!(
+        "LiDAR sweep: {} points -> {} voxels (density {:.5}%)",
+        sweep.len(),
+        voxels.len(),
+        voxels.density() * 100.0
+    );
+
+    let net = zoo::minknet_outdoor();
+    let trace = Executor::new(ExecMode::TraceOnly, 3).run(&net, &sweep).trace;
+    println!(
+        "MinkowskiUNet: {} layers, {:.1} GMACs, {:.1} M maps",
+        trace.layers.len(),
+        trace.total_macs() as f64 / 1e9,
+        trace.total_maps() as f64 / 1e6
+    );
+
+    let acc = Accelerator::new(PointAccConfig::full()).run(&trace);
+    println!(
+        "\nPointAcc:      {:>8.2} ms  {:>8.1} mJ",
+        acc.latency_ms(),
+        acc.energy().to_millijoules()
+    );
+    for p in [Platform::rtx_2080ti(), Platform::xeon_6130()] {
+        let r = p.run(&trace);
+        println!(
+            "{:<14} {:>8.2} ms  {:>8.1} mJ  ({:.1}x slower, {:.0}x more energy)",
+            r.platform,
+            r.total.to_millis(),
+            r.energy_j * 1e3,
+            r.total.to_millis() / acc.latency_ms(),
+            r.energy_j * 1e3 / acc.energy().to_millijoules()
+        );
+    }
+
+    // Per-level view: the five heaviest layers.
+    let mut heavy: Vec<_> = acc.layers.iter().collect();
+    heavy.sort_by_key(|l| std::cmp::Reverse(l.latency.get()));
+    println!("\nheaviest layers:");
+    for l in heavy.iter().take(5) {
+        println!(
+            "  {:<16} {:>10} cyc  dram {:>8} KB  cache block {:?}",
+            l.name,
+            l.latency.get(),
+            l.dram_bytes / 1024,
+            l.cache_block_points
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests on the streaming merge / sort / top-k machinery
+//! (paper Fig. 10): functional correctness and cycle-count sanity for
+//! arbitrary lengths and merger widths.
+
+use pointacc::mpu::{RankEngine, StreamMerger};
+use pointacc_sim::SortItem;
+use proptest::prelude::*;
+
+fn arb_sorted(max_n: usize) -> impl Strategy<Value = Vec<SortItem>> {
+    prop::collection::vec(0u64..10_000, 0..max_n).prop_map(|mut v| {
+        v.sort_unstable();
+        v.into_iter()
+            .enumerate()
+            .map(|(i, k)| SortItem::new(k as u128, i as u64))
+            .collect()
+    })
+}
+
+fn arb_width() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 4, 8, 16, 32, 64])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_merge_equals_std_merge(a in arb_sorted(300), b in arb_sorted(300), w in arb_width()) {
+        let merger = StreamMerger::new(w);
+        let (out, stats) = merger.merge(&a, &b);
+        let mut want: Vec<u128> = a.iter().chain(&b).map(|i| i.key).collect();
+        want.sort_unstable();
+        let got: Vec<u128> = out.iter().map(|i| i.key).collect();
+        prop_assert_eq!(got, want);
+        // One window consumed per iteration: iterations bounded by the
+        // number of windows plus a final flush.
+        let h = merger.window();
+        let bound = a.len().div_ceil(h) + b.len().div_ceil(h) + 2;
+        prop_assert!(stats.iterations <= bound as u64, "{} > {}", stats.iterations, bound);
+    }
+
+    #[test]
+    fn sort_equals_std_sort(mut keys in prop::collection::vec(0u64..100_000, 0..500), w in arb_width()) {
+        let items: Vec<SortItem> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| SortItem::new(k as u128, i as u64))
+            .collect();
+        let engine = RankEngine::new(w);
+        let (out, _) = engine.sort(&items);
+        keys.sort_unstable();
+        let got: Vec<u64> = out.iter().map(|i| i.key as u64).collect();
+        prop_assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn topk_equals_sorted_prefix(keys in prop::collection::vec(0u64..100_000, 1..600), k in 1usize..80, w in arb_width()) {
+        let items: Vec<SortItem> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| SortItem::new(key as u128, i as u64))
+            .collect();
+        let engine = RankEngine::new(w);
+        let (out, stats) = engine.topk(&items, k);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        want.truncate(k);
+        let got: Vec<u64> = out.iter().map(|i| i.key as u64).collect();
+        prop_assert_eq!(got, want);
+        // Top-k never costs more than the full sort.
+        let (_, sort_stats) = engine.sort(&items);
+        prop_assert!(stats.cycles <= sort_stats.cycles + 1);
+    }
+}
