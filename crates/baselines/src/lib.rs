@@ -4,11 +4,14 @@
 //! mapping, quick-select top-k) for the §4.1 ablations.
 //!
 //! All models consume the same [`pointacc_nn::NetworkTrace`] the
-//! accelerator replays, so comparisons are workload-identical.
+//! accelerator replays, so comparisons are workload-identical, and all
+//! implement the unified [`pointacc::Engine`] trait, reporting through
+//! the shared [`pointacc::EngineReport`] (core `perf` units).
 //!
 //! # Example
 //!
 //! ```
+//! use pointacc::Engine;
 //! use pointacc_baselines::Platform;
 //! use pointacc_nn::{zoo, ExecMode, Executor};
 //! use pointacc_geom::{Point3, PointSet};
@@ -17,8 +20,8 @@
 //!     .map(|i| Point3::new((i as f32).sin(), (i as f32).cos(), 0.0))
 //!     .collect();
 //! let trace = Executor::new(ExecMode::TraceOnly, 0).run(&zoo::pointnet(), &pts).trace;
-//! let gpu = Platform::rtx_2080ti().run(&trace);
-//! println!("GPU: {} ({} J)", gpu.total, gpu.energy_j);
+//! let gpu = Platform::rtx_2080ti().evaluate(&trace);
+//! println!("GPU: {} ({:.3} J)", gpu.total, gpu.energy.to_joules());
 //! ```
 
 #![warn(missing_docs)]
@@ -27,9 +30,7 @@
 mod engines;
 mod mesorasi;
 mod platform;
-mod report;
 
 pub use engines::{HashKernelMapEngine, QuickSelectTopK};
-pub use mesorasi::{delayed_aggregation_trace, Mesorasi};
+pub use mesorasi::{delayed_aggregation_trace, Mesorasi, MesorasiSw};
 pub use platform::Platform;
-pub use report::{PlatformReport, Seconds};

@@ -9,10 +9,9 @@
 //! are unsupported (paper §5.2.2), which is exactly the limitation
 //! Fig. 16 exploits.
 
+use pointacc::{Engine, EngineReport, Seconds};
 use pointacc_nn::{ComputeKind, MappingOp, NetworkTrace};
-use pointacc_sim::{DramChannel, DramKind, SystolicArray};
-
-use crate::report::{PlatformReport, Seconds};
+use pointacc_sim::{DramChannel, DramKind, PicoJoules, SystolicArray};
 
 /// The Mesorasi hardware model (Table 3: 16×16 NPU, 1 GHz, LPDDR3-1600,
 /// 1624 KB SRAM).
@@ -45,10 +44,7 @@ impl Mesorasi {
     /// requires shared weights per neighborhood, so any SparseConv layer
     /// (independent per-offset weights) disqualifies the network.
     pub fn supports(trace: &NetworkTrace) -> bool {
-        !trace
-            .layers
-            .iter()
-            .any(|l| l.compute == ComputeKind::SparseConv)
+        !trace.layers.iter().any(|l| l.compute == ComputeKind::SparseConv)
     }
 
     /// Runs a supported trace with delayed aggregation.
@@ -57,7 +53,7 @@ impl Mesorasi {
     ///
     /// Panics if the network contains SparseConv layers (use
     /// [`Mesorasi::supports`] first).
-    pub fn run(&self, trace: &NetworkTrace) -> PlatformReport {
+    pub fn run(&self, trace: &NetworkTrace) -> EngineReport {
         assert!(
             Self::supports(trace),
             "Mesorasi does not support independent per-neighbor weights (SparseConv)"
@@ -75,10 +71,7 @@ impl Mesorasi {
                 ComputeKind::Grouped => layer.n_in,
                 _ => layer.n_out,
             };
-            matmul_cycles += self
-                .npu
-                .matmul_cycles(rows, layer.in_ch, layer.out_ch)
-                .get();
+            matmul_cycles += self.npu.matmul_cycles(rows, layer.in_ch, layer.out_ch).get();
             dram.read(rows as u64 * layer.in_ch as u64 * elem);
             dram.read(layer.weight_bytes(elem as usize));
             dram.write(rows as u64 * layer.out_ch as u64 * elem);
@@ -96,28 +89,70 @@ impl Mesorasi {
         let matmul_s = matmul_cycles as f64 / self.freq_hz;
         let datamove_s = dram.transfer_seconds();
         let total = matmul_s + mapping_s + datamove_s;
-        PlatformReport {
-            platform: "Mesorasi".into(),
+        EngineReport {
+            engine: "Mesorasi".into(),
             network: trace.network.clone(),
             mapping: Seconds(mapping_s),
             matmul: Seconds(matmul_s),
             datamove: Seconds(datamove_s),
             total: Seconds(total),
-            energy_j: total * self.power_w + dram.energy().to_joules(),
+            energy: PicoJoules::from_joules(total * self.power_w) + dram.energy(),
+            dram_bytes: dram.total_bytes(),
         }
     }
 
     /// Mesorasi-SW: the delayed-aggregation *networks* without the
     /// dedicated hardware, running on a general-purpose platform. The
     /// MLP savings apply but everything else pays the platform's costs.
-    pub fn run_software(
-        platform: &crate::Platform,
-        trace: &NetworkTrace,
-    ) -> PlatformReport {
+    pub fn run_software(platform: &crate::Platform, trace: &NetworkTrace) -> EngineReport {
         let reduced = delayed_aggregation_trace(trace);
         let mut report = platform.run(&reduced);
-        report.platform = format!("Mesorasi-SW on {}", platform.name);
+        report.engine = format!("Mesorasi-SW on {}", platform.name);
         report
+    }
+}
+
+impl Engine for Mesorasi {
+    fn name(&self) -> String {
+        "Mesorasi".into()
+    }
+
+    fn supports(&self, trace: &NetworkTrace) -> bool {
+        Mesorasi::supports(trace)
+    }
+
+    fn evaluate(&self, trace: &NetworkTrace) -> EngineReport {
+        self.run(trace)
+    }
+}
+
+/// Mesorasi-SW as a first-class engine: the delayed-aggregation network
+/// rewrite running on a general-purpose [`Platform`](crate::Platform)
+/// (paper Fig. 15's software bars).
+#[derive(Clone, Copy, Debug)]
+pub struct MesorasiSw {
+    /// The platform hosting the rewritten networks.
+    pub platform: crate::Platform,
+}
+
+impl MesorasiSw {
+    /// Mesorasi-SW on `platform`.
+    pub fn on(platform: crate::Platform) -> Self {
+        MesorasiSw { platform }
+    }
+}
+
+impl Engine for MesorasiSw {
+    fn name(&self) -> String {
+        format!("Mesorasi-SW on {}", self.platform.name)
+    }
+
+    fn supports(&self, trace: &NetworkTrace) -> bool {
+        Mesorasi::supports(trace)
+    }
+
+    fn evaluate(&self, trace: &NetworkTrace) -> EngineReport {
+        Mesorasi::run_software(&self.platform, trace)
     }
 }
 

@@ -10,9 +10,9 @@
 //! TPU — host round trips because the accelerator cannot run mapping
 //! operations at all.
 
+use pointacc::{Engine, EngineReport, Seconds};
 use pointacc_nn::{ComputeKind, LayerTrace, MappingOp, NetworkTrace};
-
-use crate::report::{PlatformReport, Seconds};
+use pointacc_sim::PicoJoules;
 
 /// An analytic platform model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -135,27 +135,32 @@ impl Platform {
         }
     }
 
-    /// Runs a trace, returning the latency/energy report with the
-    /// mapping / matmul / data-movement breakdown of paper Fig. 6.
-    pub fn run(&self, trace: &NetworkTrace) -> PlatformReport {
+    /// Runs a trace, returning the unified latency/energy report with
+    /// the mapping / matmul / data-movement breakdown of paper Fig. 6.
+    /// General-purpose platforms serialize the three components, so
+    /// `total` is their sum; energy is `latency × average power`.
+    pub fn run(&self, trace: &NetworkTrace) -> EngineReport {
         let mut mapping = 0.0f64;
         let mut matmul = 0.0f64;
         let mut datamove = 0.0f64;
+        let mut dram_bytes = 0u64;
         for layer in &trace.layers {
             let (m, x, d) = self.layer_times(layer);
             mapping += m;
             matmul += x;
             datamove += d;
+            dram_bytes += gather_scatter_bytes(layer, 4);
         }
         let total = mapping + matmul + datamove;
-        PlatformReport {
-            platform: self.name.to_string(),
+        EngineReport {
+            engine: self.name.to_string(),
             network: trace.network.clone(),
             mapping: Seconds(mapping),
             matmul: Seconds(matmul),
             datamove: Seconds(datamove),
             total: Seconds(total),
-            energy_j: total * self.power_w,
+            energy: PicoJoules::from_joules(total * self.power_w),
+            dram_bytes,
         }
     }
 
@@ -188,11 +193,8 @@ impl Platform {
             ComputeKind::Dense => (self.sparse_utilization * 4.0).min(0.6),
             _ => self.sparse_utilization,
         };
-        let mut matmul = if flops > 0.0 {
-            flops / (self.dense_gflops * 1e9 * util) + launch
-        } else {
-            0.0
-        };
+        let mut matmul =
+            if flops > 0.0 { flops / (self.dense_gflops * 1e9 * util) + launch } else { 0.0 };
 
         // --- Data movement: Gather-MatMul-Scatter traffic ---
         let elem = 4u64; // fp32 on general-purpose platforms
@@ -202,13 +204,22 @@ impl Platform {
         // Offload platforms (TPU) round-trip through the host for every
         // mapping + gather (paper: 60–90 % of runtime).
         if let Some(link) = self.host_link_gbps {
-            let roundtrip = 2.0 * layer.input_feature_bytes(elem as usize) as f64
-                / (link * 1e9);
+            let roundtrip = 2.0 * layer.input_feature_bytes(elem as usize) as f64 / (link * 1e9);
             datamove += roundtrip + launch;
             // Small matrices are padded to the TPU's systolic tiles.
             matmul *= 1.5;
         }
         (mapping, matmul, datamove)
+    }
+}
+
+impl Engine for Platform {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn evaluate(&self, trace: &NetworkTrace) -> EngineReport {
+        self.run(trace)
     }
 }
 
@@ -231,16 +242,12 @@ fn gather_scatter_bytes(layer: &LayerTrace, elem: u64) -> u64 {
     let ic = layer.in_ch as u64;
     let oc = layer.out_ch as u64;
     match layer.compute {
-        ComputeKind::SparseConv
-        | ComputeKind::Grouped
-        | ComputeKind::Interpolate => {
+        ComputeKind::SparseConv | ComputeKind::Grouped | ComputeKind::Interpolate => {
             let n = maps.unwrap_or(layer.n_out as u64);
             // gather read+write, matmul read+write, scatter read+write.
             n * ic * elem * 3 + n * oc * elem * 2 + layer.n_out as u64 * oc * elem
         }
-        ComputeKind::Dense => {
-            (layer.n_in as u64 * ic + layer.n_out as u64 * oc) * elem
-        }
+        ComputeKind::Dense => (layer.n_in as u64 * ic + layer.n_out as u64 * oc) * elem,
         ComputeKind::Pool => layer.n_in as u64 * ic * elem,
     }
 }
@@ -258,9 +265,7 @@ mod tests {
                 Point3::new((t * 0.3).sin() * 2.0, (t * 0.9).cos() * 2.0, (t * 0.07).sin())
             })
             .collect();
-        Executor::new(ExecMode::TraceOnly, 1)
-            .run(&zoo::pointnet_pp_classification(), &pts)
-            .trace
+        Executor::new(ExecMode::TraceOnly, 1).run(&zoo::pointnet_pp_classification(), &pts).trace
     }
 
     #[test]
@@ -303,6 +308,16 @@ mod tests {
     #[test]
     fn energy_is_latency_times_power() {
         let report = Platform::jetson_nano().run(&trace());
-        assert!((report.energy_j - report.total.0 * 10.0).abs() < 1e-9);
+        assert!((report.energy.to_joules() - report.total.0 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_surface_matches_inherent_run() {
+        let t = trace();
+        let p = Platform::rtx_2080ti();
+        let dyn_engine: &dyn Engine = &p;
+        assert!(dyn_engine.supports(&t));
+        assert_eq!(dyn_engine.evaluate(&t), p.run(&t));
+        assert_eq!(dyn_engine.name(), "RTX 2080Ti");
     }
 }

@@ -34,9 +34,8 @@ fn bench_baseline_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_models");
     g.sample_size(20);
     let pts = Dataset::ModelNet40.generate(1, 1024);
-    let trace = Executor::new(ExecMode::TraceOnly, 1)
-        .run(&zoo::pointnet_pp_classification(), &pts)
-        .trace;
+    let trace =
+        Executor::new(ExecMode::TraceOnly, 1).run(&zoo::pointnet_pp_classification(), &pts).trace;
     let gpu = Platform::rtx_2080ti();
     g.bench_function("gpu_model_pointnet_pp", |b| b.iter(|| gpu.run(&trace)));
     g.finish();

@@ -74,9 +74,7 @@ fn bench_fps(c: &mut Criterion) {
     g.sample_size(10);
     let pts = points(2048);
     let mpu = Mpu::new(64);
-    g.bench_function("mpu_2048_to_512", |b| {
-        b.iter(|| mpu.farthest_point_sampling(&pts, 512))
-    });
+    g.bench_function("mpu_2048_to_512", |b| b.iter(|| mpu.farthest_point_sampling(&pts, 512)));
     g.bench_function("golden_2048_to_512", |b| {
         b.iter(|| golden::farthest_point_sampling(&pts, 512))
     });

@@ -2,8 +2,8 @@
 //! ~14x smaller than a hash-table engine of the same parallelism.
 
 use pointacc::Mpu;
-use pointacc_bench::{dataset_by_name, print_table, scale};
 use pointacc_baselines::HashKernelMapEngine;
+use pointacc_bench::{dataset_by_name, print_table, scale};
 use pointacc_sim::area;
 
 fn main() {

@@ -2,8 +2,8 @@
 //! quick-selection engine of SpAtten at the same parallelism.
 
 use pointacc::mpu::RankEngine;
-use pointacc_bench::{geomean, print_table};
 use pointacc_baselines::QuickSelectTopK;
+use pointacc_bench::{geomean, print_table};
 use pointacc_sim::SortItem;
 
 fn main() {

@@ -1,34 +1,29 @@
 //! Fig. 13: PointAcc speedup and energy savings over server platforms
 //! (RTX 2080Ti, Xeon + TPUv3, Xeon Gold 6130) on the 8 benchmarks.
+//!
+//! The 4 engines × 8 benchmarks evaluate concurrently through the
+//! parallel harness grid (engine 0 is PointAcc, the speedup base).
 
-use pointacc::{Accelerator, PointAccConfig};
-use pointacc_bench::{benchmark_trace, geomean, paper, print_table};
+use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
-use pointacc_nn::zoo;
+use pointacc_bench::harness::Grid;
+use pointacc_bench::{paper, print_table};
 
 fn main() {
     let acc = Accelerator::new(PointAccConfig::full());
-    let platforms =
-        [Platform::rtx_2080ti(), Platform::xeon_tpu_v3(), Platform::xeon_6130()];
+    let platforms = [Platform::rtx_2080ti(), Platform::xeon_tpu_v3(), Platform::xeon_6130()];
     let paper_speedups =
         [paper::FIG13_SPEEDUP_GPU, paper::FIG13_SPEEDUP_TPU, paper::FIG13_SPEEDUP_CPU];
 
+    let run = Grid::new().engine(&acc).engines(platforms.iter().map(|p| p as &dyn Engine)).run();
+
     let mut rows = Vec::new();
-    let mut speeds: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for (bi, b) in zoo::benchmarks().iter().enumerate() {
-        let trace = benchmark_trace(b, 42);
-        let report = acc.run(&trace);
-        let acc_ms = report.latency_ms();
-        let acc_j = report.energy().to_joules();
-        let mut row = vec![b.notation.to_string(), format!("{:.2}", acc_ms)];
-        for (pi, p) in platforms.iter().enumerate() {
-            let r = p.run(&trace);
-            let speed = r.total.to_millis() / acc_ms;
-            let energy = r.energy_j / acc_j;
-            speeds[pi].push(speed);
-            energies[pi].push(energy);
-            row.push(format!("{:.1}x (paper {:.1}x)", speed, paper_speedups[pi][bi]));
+    for (bi, b) in run.benchmarks.iter().enumerate() {
+        let ours = run.report(0, bi, 0).expect("PointAcc runs everything");
+        let mut row = vec![b.notation.to_string(), format!("{:.2}", ours.latency_ms())];
+        for (pi, speedups) in paper_speedups.iter().enumerate() {
+            let speed = run.speedup(0, 1 + pi, bi, 0).expect("platforms run everything");
+            row.push(format!("{:.1}x (paper {:.1}x)", speed, speedups[bi]));
         }
         rows.push(row);
     }
@@ -39,14 +34,14 @@ fn main() {
     );
     println!(
         "\nGeoMean speedup: GPU {:.1}x (paper 3.7x) | TPU {:.1}x (paper 53x) | CPU {:.1}x (paper 90x)",
-        geomean(&speeds[0]),
-        geomean(&speeds[1]),
-        geomean(&speeds[2])
+        run.geomean_speedup(0, 1),
+        run.geomean_speedup(0, 2),
+        run.geomean_speedup(0, 3)
     );
     println!(
         "GeoMean energy savings: GPU {:.0}x (paper 22x) | TPU {:.0}x (paper 210x) | CPU {:.0}x (paper 176x)",
-        geomean(&energies[0]),
-        geomean(&energies[1]),
-        geomean(&energies[2])
+        run.geomean_energy_ratio(0, 1),
+        run.geomean_energy_ratio(0, 2),
+        run.geomean_energy_ratio(0, 3)
     );
 }

@@ -1,10 +1,13 @@
 //! Fig. 14: PointAcc.Edge speedup and energy savings over edge devices
 //! (Jetson Xavier NX, Jetson Nano, Raspberry Pi 4B).
+//!
+//! The 4 engines × 8 benchmarks evaluate concurrently through the
+//! parallel harness grid (engine 0 is PointAcc.Edge, the speedup base).
 
-use pointacc::{Accelerator, PointAccConfig};
-use pointacc_bench::{benchmark_trace, geomean, paper, print_table};
+use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
-use pointacc_nn::zoo;
+use pointacc_bench::harness::Grid;
+use pointacc_bench::{paper, print_table};
 
 fn main() {
     let acc = Accelerator::new(PointAccConfig::edge());
@@ -13,21 +16,15 @@ fn main() {
     let paper_speedups =
         [paper::FIG14_SPEEDUP_NX, paper::FIG14_SPEEDUP_NANO, paper::FIG14_SPEEDUP_RPI];
 
+    let run = Grid::new().engine(&acc).engines(platforms.iter().map(|p| p as &dyn Engine)).run();
+
     let mut rows = Vec::new();
-    let mut speeds: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for (bi, b) in zoo::benchmarks().iter().enumerate() {
-        let trace = benchmark_trace(b, 42);
-        let report = acc.run(&trace);
-        let acc_ms = report.latency_ms();
-        let acc_j = report.energy().to_joules();
-        let mut row = vec![b.notation.to_string(), format!("{:.2}", acc_ms)];
-        for (pi, p) in platforms.iter().enumerate() {
-            let r = p.run(&trace);
-            let speed = r.total.to_millis() / acc_ms;
-            speeds[pi].push(speed);
-            energies[pi].push(r.energy_j / acc_j);
-            row.push(format!("{:.1}x (paper {:.1}x)", speed, paper_speedups[pi][bi]));
+    for (bi, b) in run.benchmarks.iter().enumerate() {
+        let ours = run.report(0, bi, 0).expect("PointAcc.Edge runs everything");
+        let mut row = vec![b.notation.to_string(), format!("{:.2}", ours.latency_ms())];
+        for (pi, speedups) in paper_speedups.iter().enumerate() {
+            let speed = run.speedup(0, 1 + pi, bi, 0).expect("platforms run everything");
+            row.push(format!("{:.1}x (paper {:.1}x)", speed, speedups[bi]));
         }
         rows.push(row);
     }
@@ -35,14 +32,14 @@ fn main() {
     print_table(&["Network", "Edge(ms)", "vs Jetson NX", "vs Jetson Nano", "vs RPi 4B"], &rows);
     println!(
         "\nGeoMean speedup: NX {:.1}x (paper 2.5x) | Nano {:.1}x (paper 9.8x) | RPi {:.0}x (paper 141x)",
-        geomean(&speeds[0]),
-        geomean(&speeds[1]),
-        geomean(&speeds[2])
+        run.geomean_speedup(0, 1),
+        run.geomean_speedup(0, 2),
+        run.geomean_speedup(0, 3)
     );
     println!(
         "GeoMean energy savings: NX {:.1}x (paper 7.8x) | Nano {:.1}x (paper 16x) | RPi {:.0}x (paper 127x)",
-        geomean(&energies[0]),
-        geomean(&energies[1]),
-        geomean(&energies[2])
+        run.geomean_energy_ratio(0, 1),
+        run.geomean_energy_ratio(0, 2),
+        run.geomean_energy_ratio(0, 3)
     );
 }

@@ -1,33 +1,35 @@
 //! Fig. 15: PointAcc.Edge vs Mesorasi (HW and SW variants) on the
-//! PointNet++-based benchmarks.
+//! PointNet++-based benchmarks, evaluated as one concurrent harness grid
+//! (engine 0 is PointAcc.Edge, the speedup base).
 
-use pointacc::{Accelerator, PointAccConfig};
-use pointacc_bench::{benchmark_trace, geomean, paper, print_table};
-use pointacc_baselines::{Mesorasi, Platform};
+use pointacc::{Accelerator, Engine, PointAccConfig};
+use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
+use pointacc_bench::harness::Grid;
+use pointacc_bench::{paper, print_table};
 use pointacc_nn::zoo;
 
 fn main() {
     let acc = Accelerator::new(PointAccConfig::edge());
     let mesorasi = Mesorasi::new();
+    let sw_nano = MesorasiSw::on(Platform::jetson_nano());
+    let sw_rpi = MesorasiSw::on(Platform::raspberry_pi_4b());
+
+    let run = Grid::new()
+        .engines([&acc as &dyn Engine, &mesorasi, &sw_nano, &sw_rpi])
+        .benchmarks(
+            zoo::benchmarks().into_iter().filter(|b| paper::FIG15_NETWORKS.contains(&b.notation)),
+        )
+        .run();
+
     let mut rows = Vec::new();
-    let mut sp_hw = Vec::new();
-    let mut sp_nano = Vec::new();
-    let mut sp_rpi = Vec::new();
-    for b in zoo::benchmarks() {
-        let Some(pi) = paper::FIG15_NETWORKS.iter().position(|n| *n == b.notation) else {
-            continue;
-        };
-        let trace = benchmark_trace(&b, 42);
-        assert!(Mesorasi::supports(&trace), "{} must be PointNet++-based", b.notation);
-        let acc_ms = acc.run(&trace).latency_ms();
-        let hw = mesorasi.run(&trace).total.to_millis() / acc_ms;
-        let nano =
-            Mesorasi::run_software(&Platform::jetson_nano(), &trace).total.to_millis() / acc_ms;
-        let rpi =
-            Mesorasi::run_software(&Platform::raspberry_pi_4b(), &trace).total.to_millis() / acc_ms;
-        sp_hw.push(hw);
-        sp_nano.push(nano);
-        sp_rpi.push(rpi);
+    for (bi, b) in run.benchmarks.iter().enumerate() {
+        let pi = paper::FIG15_NETWORKS
+            .iter()
+            .position(|n| *n == b.notation)
+            .expect("grid holds only Fig. 15 networks");
+        let hw = run.speedup(0, 1, bi, 0).expect("PointNet++-based nets run on Mesorasi");
+        let nano = run.speedup(0, 2, bi, 0).expect("supported");
+        let rpi = run.speedup(0, 3, bi, 0).expect("supported");
         rows.push(vec![
             b.notation.to_string(),
             format!("{:.1}x (paper {:.1}x)", hw, paper::FIG15_SPEEDUP_HW[pi]),
@@ -39,8 +41,8 @@ fn main() {
     print_table(&["Network", "vs Mesorasi-HW", "vs SW(Nano)", "vs SW(RPi4)"], &rows);
     println!(
         "\nGeoMean: HW {:.1}x (paper 4.3x) | SW-Nano {:.1}x (paper 14x) | SW-RPi {:.0}x (paper 128x)",
-        geomean(&sp_hw),
-        geomean(&sp_nano),
-        geomean(&sp_rpi)
+        run.geomean_speedup(0, 1),
+        run.geomean_speedup(0, 2),
+        run.geomean_speedup(0, 3)
     );
 }

@@ -1,11 +1,12 @@
 //! Fig. 16: network/accelerator co-design — Mesorasi running
 //! PointNet++SSG vs PointAcc.Edge running Mini-MinkowskiUNet, same S3DIS
 //! segmentation task. Accuracy (mIoU) is quoted from the paper (no
-//! training in this reproduction); latency is measured on our models.
+//! training in this reproduction); latency is measured on our models
+//! through the unified engine surface.
 
-use pointacc::{Accelerator, PointAccConfig};
+use pointacc::{Accelerator, Engine, PointAccConfig};
+use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
 use pointacc_bench::{benchmark_trace, dataset_by_name, paper, print_table, scale};
-use pointacc_baselines::{Mesorasi, Platform};
 use pointacc_nn::{zoo, ExecMode, Executor};
 
 fn main() {
@@ -15,8 +16,11 @@ fn main() {
         .find(|b| b.notation == "PointNet++(s)")
         .expect("PointNet++(s) benchmark exists");
     let pp_trace = benchmark_trace(&pp, 42);
-    let sw_ms = Mesorasi::run_software(&Platform::jetson_nano(), &pp_trace).total.to_millis();
-    let hw_ms = Mesorasi::new().run(&pp_trace).total.to_millis();
+    let sw = MesorasiSw::on(Platform::jetson_nano());
+    let hw = Mesorasi::new();
+    assert!(sw.supports(&pp_trace) && hw.supports(&pp_trace));
+    let sw_ms = sw.evaluate(&pp_trace).latency_ms();
+    let hw_ms = hw.evaluate(&pp_trace).latency_ms();
 
     // Mini-MinkowskiUNet on the same room for PointAcc.Edge.
     let mini = zoo::mini_minkunet();
@@ -24,8 +28,8 @@ fn main() {
     let n = ((mini.default_points() as f64 * scale()) as usize).max(64);
     let pts = ds.generate(42, n);
     let mini_trace = Executor::new(ExecMode::TraceOnly, 42).run(&mini, &pts).trace;
-    assert!(!Mesorasi::supports(&mini_trace), "SparseConv must be unsupported on Mesorasi");
-    let mini_ms = Accelerator::new(PointAccConfig::edge()).run(&mini_trace).latency_ms();
+    assert!(!hw.supports(&mini_trace), "SparseConv must be unsupported on Mesorasi");
+    let mini_ms = Accelerator::new(PointAccConfig::edge()).evaluate(&mini_trace).latency_ms();
 
     println!("== Fig. 16: Co-design on S3DIS segmentation ==\n");
     print_table(
@@ -56,5 +60,7 @@ fn main() {
         sw_ms / mini_ms,
         paper::FIG16_MIOU_MINI_MINK - paper::FIG16_MIOU_POINTNETPP
     );
-    println!("note: Mesorasi cannot run Mini-MinkowskiUNet at all (independent per-offset weights).");
+    println!(
+        "note: Mesorasi cannot run Mini-MinkowskiUNet at all (independent per-offset weights)."
+    );
 }

@@ -6,10 +6,10 @@
 //! Right: convolution — Gather-MatMul-Scatter vs Fetch-on-Demand flow on
 //! GPU and on PointAcc.
 
-use pointacc::{Accelerator, CachePolicy, Mpu, PointAccConfig, RunOptions};
-use pointacc_bench::{dataset_by_name, print_table, scale};
+use pointacc::{Accelerator, CachePolicy, Engine, Mpu, PointAccConfig, RunOptions};
 use pointacc_baselines::{HashKernelMapEngine, Platform};
-use pointacc_nn::{ComputeKind, NetworkTrace, zoo, ExecMode, Executor};
+use pointacc_bench::{dataset_by_name, print_table, scale};
+use pointacc_nn::{zoo, ComputeKind, ExecMode, Executor, NetworkTrace};
 
 fn first_downsample(trace: &NetworkTrace) -> NetworkTrace {
     let layer = trace
@@ -18,7 +18,11 @@ fn first_downsample(trace: &NetworkTrace) -> NetworkTrace {
         .find(|l| l.compute == ComputeKind::SparseConv && l.n_out < l.n_in)
         .expect("MinkowskiUNet has a downsampling conv")
         .clone();
-    NetworkTrace { network: trace.network.clone(), input_desc: trace.input_desc.clone(), layers: vec![layer] }
+    NetworkTrace {
+        network: trace.network.clone(),
+        input_desc: trace.input_desc.clone(),
+        layers: vec![layer],
+    }
 }
 
 fn main() {
@@ -61,13 +65,30 @@ fn main() {
     let acc = Accelerator::new(PointAccConfig::full());
     let fod = acc.run(&block);
     let gms = acc.run_with(&block, RunOptions { gather_scatter_flow: true, ..Default::default() });
-    let nocache = acc.run_with(&block, RunOptions { cache: CachePolicy::Off, ..Default::default() });
-    let gpu_gms = gpu.run(&block);
+    let nocache =
+        acc.run_with(&block, RunOptions { cache: CachePolicy::Off, ..Default::default() });
+    let gpu_gms = gpu.evaluate(&block);
     let rows = vec![
-        vec!["GPU Gather-MatMul-Scatter".into(), format!("{:.3}", gpu_gms.total.to_millis()), format!("{}", gpu_gms.datamove.to_millis() as u64)],
-        vec!["PointAcc G-S flow".into(), format!("{:.3}", gms.latency_ms()), format!("{}", gms.dram_bytes() / 1024)],
-        vec!["PointAcc F-D (no cache)".into(), format!("{:.3}", nocache.latency_ms()), format!("{}", nocache.dram_bytes() / 1024)],
-        vec!["PointAcc F-D (cached)".into(), format!("{:.3}", fod.latency_ms()), format!("{}", fod.dram_bytes() / 1024)],
+        vec![
+            "GPU Gather-MatMul-Scatter".into(),
+            format!("{:.3}", gpu_gms.total.to_millis()),
+            format!("{}", gpu_gms.datamove.to_millis() as u64),
+        ],
+        vec![
+            "PointAcc G-S flow".into(),
+            format!("{:.3}", gms.latency_ms()),
+            format!("{}", gms.dram_bytes() / 1024),
+        ],
+        vec![
+            "PointAcc F-D (no cache)".into(),
+            format!("{:.3}", nocache.latency_ms()),
+            format!("{}", nocache.dram_bytes() / 1024),
+        ],
+        vec![
+            "PointAcc F-D (cached)".into(),
+            format!("{:.3}", fod.latency_ms()),
+            format!("{}", fod.dram_bytes() / 1024),
+        ],
     ];
     print_table(&["Flow", "Latency(ms)", "DRAM(KB|ms)"], &rows);
     println!("\npaper: F-D saves 3x memory footprint; overhead removed by the systolic array on PointAcc");

@@ -1,8 +1,11 @@
 //! Fig. 19: distribution of per-layer DRAM access size for MinkowskiUNet
 //! on S3DIS and SemanticKITTI, with and without the configurable cache.
+//! The four (trace × flow) accelerator replays run concurrently through
+//! the harness.
 
-use pointacc::{Accelerator, CachePolicy, PointAccConfig, RunOptions};
-use pointacc_bench::{benchmark_trace, paper, print_table};
+use pointacc::{Accelerator, CachePolicy, PointAccConfig, RunOptions, RunReport};
+use pointacc_bench::harness::{parallel_map, parallel_traces};
+use pointacc_bench::{paper, print_table};
 use pointacc_nn::zoo;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -13,28 +16,38 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+fn layer_sizes_mb(report: &RunReport) -> Vec<f64> {
+    let mut sizes: Vec<f64> = report
+        .layers
+        .iter()
+        .filter(|l| l.dram_bytes > 0)
+        .map(|l| l.dram_bytes as f64 / 1e6)
+        .collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sizes
+}
+
 fn main() {
     let acc = Accelerator::new(PointAccConfig::full());
     println!("== Fig. 19: per-layer DRAM access size (MB), MinkowskiUNet ==\n");
+    let benchmarks: Vec<_> = zoo::benchmarks()
+        .into_iter()
+        .filter(|b| b.notation == "MinkNet(i)" || b.notation == "MinkNet(o)")
+        .collect();
+    let traces = parallel_traces(&benchmarks, 42);
+
+    let gather_opts =
+        RunOptions { cache: CachePolicy::Off, gather_scatter_flow: true, fusion: true };
+    let jobs: Vec<(usize, RunOptions)> =
+        (0..traces.len()).flat_map(|t| [(t, gather_opts), (t, RunOptions::default())]).collect();
+    let reports = parallel_map(&jobs, |&(t, opts)| acc.run_with(&traces[t], opts));
+
     let mut rows = Vec::new();
-    for (i, b) in zoo::benchmarks().into_iter().enumerate() {
-        if b.notation != "MinkNet(i)" && b.notation != "MinkNet(o)" {
-            continue;
-        }
-        let trace = benchmark_trace(&b, 42);
-        let cached = acc.run(&trace);
-        let gather = acc.run_with(
-            &trace,
-            RunOptions { cache: CachePolicy::Off, gather_scatter_flow: true, fusion: true },
-        );
-        for (name, report) in [("Gather&Scatter", &gather), ("Fetch-on-Demand", &cached)] {
-            let mut sizes: Vec<f64> = report
-                .layers
-                .iter()
-                .filter(|l| l.dram_bytes > 0)
-                .map(|l| l.dram_bytes as f64 / 1e6)
-                .collect();
-            sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (bi, b) in benchmarks.iter().enumerate() {
+        let gather = &reports[bi * 2];
+        let cached = &reports[bi * 2 + 1];
+        for (name, report) in [("Gather&Scatter", gather), ("Fetch-on-Demand", cached)] {
+            let sizes = layer_sizes_mb(report);
             let mean = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
             rows.push(vec![
                 format!("{} / {}", b.notation, name),
@@ -54,7 +67,6 @@ fn main() {
             reduction,
             paper::FIG19_REDUCTION[pidx]
         );
-        let _ = i;
     }
     print_table(&["Config", "min", "p25", "median", "p75", "max", "mean"], &rows);
     println!("\npaper: caching reduces per-layer DRAM access 3.5x (SemanticKITTI) to 6.3x (S3DIS); distribution shape preserved");

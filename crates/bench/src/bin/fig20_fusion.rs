@@ -1,20 +1,33 @@
 //! Fig. 20: DRAM access reduction from temporal layer fusion on the
-//! PointNet family.
+//! PointNet family. The (benchmark × fusion-option) replays run
+//! concurrently through the harness.
 
 use pointacc::{Accelerator, PointAccConfig, RunOptions};
-use pointacc_bench::{benchmark_trace, paper, print_table};
+use pointacc_bench::harness::{parallel_map, parallel_traces};
+use pointacc_bench::{paper, print_table};
 use pointacc_nn::zoo;
 
 fn main() {
     let acc = Accelerator::new(PointAccConfig::full());
+    let benchmarks: Vec<_> = zoo::benchmarks()
+        .into_iter()
+        .filter(|b| paper::FIG20_NETWORKS.contains(&b.notation))
+        .collect();
+    let traces = parallel_traces(&benchmarks, 42);
+    let jobs: Vec<(usize, bool)> =
+        (0..traces.len()).flat_map(|t| [(t, true), (t, false)]).collect();
+    let reports = parallel_map(&jobs, |&(t, fusion)| {
+        acc.run_with(&traces[t], RunOptions { fusion, ..Default::default() })
+    });
+
     let mut rows = Vec::new();
-    for b in zoo::benchmarks() {
-        let Some(pi) = paper::FIG20_NETWORKS.iter().position(|n| *n == b.notation) else {
-            continue;
-        };
-        let trace = benchmark_trace(&b, 42);
-        let fused = acc.run(&trace);
-        let unfused = acc.run_with(&trace, RunOptions { fusion: false, ..Default::default() });
+    for (bi, b) in benchmarks.iter().enumerate() {
+        let pi = paper::FIG20_NETWORKS
+            .iter()
+            .position(|n| *n == b.notation)
+            .expect("only Fig. 20 networks are in the grid");
+        let fused = &reports[bi * 2];
+        let unfused = &reports[bi * 2 + 1];
         let reduction = 100.0 * (1.0 - fused.dram_bytes() as f64 / unfused.dram_bytes() as f64);
         let fused_layers = fused.layers.iter().filter(|l| l.fused).count();
         rows.push(vec![

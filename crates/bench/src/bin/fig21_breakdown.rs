@@ -1,55 +1,65 @@
 //! Fig. 21: latency and energy breakdown of PointAcc on MinkNet(o),
-//! compared with GPU and CPU+TPU.
+//! compared with GPU and CPU+TPU — the platforms evaluate through a
+//! concurrent harness grid; the accelerator replays once, natively, and
+//! converts to the unified report for the shared table.
 
-use pointacc::{Accelerator, PointAccConfig};
-use pointacc_bench::{benchmark_trace, paper, print_table};
+use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
+use pointacc_bench::harness::Grid;
+use pointacc_bench::{paper, print_table};
 use pointacc_nn::zoo;
 
 fn main() {
-    let b = zoo::benchmarks()
-        .into_iter()
-        .find(|b| b.notation == "MinkNet(o)")
-        .expect("MinkNet(o) exists");
-    let trace = benchmark_trace(&b, 42);
+    let tpu = Platform::xeon_tpu_v3();
+    let gpu = Platform::rtx_2080ti();
+    let run = Grid::new()
+        .engines([&tpu as &dyn Engine, &gpu])
+        .benchmarks(zoo::benchmarks().into_iter().filter(|b| b.notation == "MinkNet(o)"))
+        .run();
+    let acc_report = Accelerator::new(PointAccConfig::full()).run(run.trace(0, 0));
 
     println!("== Fig. 21a: latency breakdown on MinkNet(o) ==\n");
     let mut rows = Vec::new();
-    for p in [Platform::xeon_tpu_v3(), Platform::rtx_2080ti()] {
-        let r = p.run(&trace);
+    let unified: Vec<_> = (0..run.engines.len())
+        .map(|ei| run.report(ei, 0, 0).expect("platforms run MinkNet(o)").clone())
+        .chain([acc_report.to_engine_report()])
+        .collect();
+    for r in &unified {
         let (m, x, d) = r.breakdown();
         rows.push(vec![
-            r.platform.clone(),
-            format!("{:.1}", r.total.to_millis()),
+            r.engine.clone(),
+            format!("{:.2}", r.total.to_millis()),
             format!("{:.0}%", d * 100.0),
             format!("{:.0}%", x * 100.0),
             format!("{:.0}%", m * 100.0),
         ]);
     }
-    let acc = Accelerator::new(PointAccConfig::full());
-    let report = acc.run(&trace);
-    let (m, x, d) = report.latency_breakdown();
-    rows.push(vec![
-        "PointAcc".into(),
-        format!("{:.2}", report.latency_ms()),
-        format!("{:.0}%", d * 100.0),
-        format!("{:.0}%", x * 100.0),
-        format!("{:.0}%", m * 100.0),
-    ]);
     print_table(&["Platform", "Latency(ms)", "DataMove", "MatMul", "Mapping"], &rows);
 
     println!("\n== Fig. 21b: PointAcc energy breakdown ==\n");
-    let (c, s, dr) = report.energy_breakdown();
+    let (c, s, dr) = acc_report.energy_breakdown();
     print_table(
         &["Component", "Ours", "Paper"],
         &[
-            vec!["Compute".into(), format!("{:.0}%", c * 100.0), format!("{:.0}%", paper::FIG21_ENERGY[0] * 100.0)],
-            vec!["SRAM".into(), format!("{:.0}%", s * 100.0), format!("{:.0}%", paper::FIG21_ENERGY[1] * 100.0)],
-            vec!["DRAM".into(), format!("{:.0}%", dr * 100.0), format!("{:.0}%", paper::FIG21_ENERGY[2] * 100.0)],
+            vec![
+                "Compute".into(),
+                format!("{:.0}%", c * 100.0),
+                format!("{:.0}%", paper::FIG21_ENERGY[0] * 100.0),
+            ],
+            vec![
+                "SRAM".into(),
+                format!("{:.0}%", s * 100.0),
+                format!("{:.0}%", paper::FIG21_ENERGY[1] * 100.0),
+            ],
+            vec![
+                "DRAM".into(),
+                format!("{:.0}%", dr * 100.0),
+                format!("{:.0}%", paper::FIG21_ENERGY[2] * 100.0),
+            ],
         ],
     );
     println!(
         "\ntotal energy {:.2} mJ; MatMul dominates latency on PointAcc (paper: mapping+datamove largely overlapped)",
-        report.energy().to_millijoules()
+        acc_report.energy().to_millijoules()
     );
 }

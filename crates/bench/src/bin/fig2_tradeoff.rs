@@ -2,8 +2,9 @@
 //! point cloud networks on SemanticKITTI. Accuracy and reference MACs are
 //! quoted; GPU latency of our MinkowskiUNet is measured on the GPU model.
 
-use pointacc_bench::{benchmark_trace, print_table};
+use pointacc::Engine;
 use pointacc_baselines::Platform;
+use pointacc_bench::{benchmark_trace, print_table};
 use pointacc_nn::{stats, zoo};
 
 fn main() {
@@ -21,7 +22,7 @@ fn main() {
     let b = zoo::benchmarks().into_iter().find(|b| b.notation == "MinkNet(o)").unwrap();
     let trace = benchmark_trace(&b, 42);
     let s = stats::network_stats(&trace);
-    let gpu = Platform::rtx_2080ti().run(&trace);
+    let gpu = Platform::rtx_2080ti().evaluate(&trace);
     rows.push(vec![
         "MinkowskiUNet (ours)".into(),
         format!("{:.1}", s.macs as f64 / 1e9),

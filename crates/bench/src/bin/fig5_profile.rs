@@ -1,7 +1,9 @@
 //! Fig. 5: dataset density (left), MACs per point (middle) and feature
-//! bytes per point (right) — point cloud networks vs 2-D CNNs.
+//! bytes per point (right) — point cloud networks vs 2-D CNNs (network
+//! traces built concurrently through the harness).
 
-use pointacc_bench::{benchmark_trace, dataset_by_name, print_table};
+use pointacc_bench::harness::parallel_traces;
+use pointacc_bench::print_table;
 use pointacc_data::{stats as dstats, Dataset};
 use pointacc_nn::{stats, zoo};
 
@@ -31,10 +33,10 @@ fn main() {
             "2D CNN".into(),
         ]);
     }
-    for b in zoo::benchmarks() {
-        let _ = dataset_by_name(b.dataset);
-        let trace = benchmark_trace(&b, 42);
-        let s = stats::network_stats(&trace);
+    let benchmarks = zoo::benchmarks();
+    let traces = parallel_traces(&benchmarks, 42);
+    for (b, trace) in benchmarks.iter().zip(&traces) {
+        let s = stats::network_stats(trace);
         rows.push(vec![
             b.notation.to_string(),
             format!("{}", s.macs_per_point),
@@ -43,5 +45,7 @@ fn main() {
         ]);
     }
     print_table(&["Model", "MACs/point", "FeatBytes/point", "Family"], &rows);
-    println!("\npaper: point cloud networks reach up to 100x the MACs/point and feature size of CNNs");
+    println!(
+        "\npaper: point cloud networks reach up to 100x the MACs/point and feature size of CNNs"
+    );
 }

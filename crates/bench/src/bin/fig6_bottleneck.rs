@@ -1,9 +1,12 @@
 //! Fig. 6: latency breakdown of point cloud networks on general-purpose
 //! platforms — PointNet++(s) on S3DIS (left), MinkowskiUNet on
-//! SemanticKITTI (right).
+//! SemanticKITTI (right) — evaluated as one concurrent 4-engine ×
+//! 2-benchmark harness grid.
 
-use pointacc_bench::{benchmark_trace, print_table};
+use pointacc::Engine;
 use pointacc_baselines::Platform;
+use pointacc_bench::harness::Grid;
+use pointacc_bench::print_table;
 use pointacc_nn::zoo;
 
 fn main() {
@@ -13,18 +16,23 @@ fn main() {
         Platform::jetson_xavier_nx(), // the paper's "mGPU"
         Platform::xeon_tpu_v3(),
     ];
-    for bench in zoo::benchmarks() {
-        if bench.notation != "PointNet++(s)" && bench.notation != "MinkNet(o)" {
-            continue;
-        }
+    let run = Grid::new()
+        .engines(platforms.iter().map(|p| p as &dyn Engine))
+        .benchmarks(
+            zoo::benchmarks()
+                .into_iter()
+                .filter(|b| b.notation == "PointNet++(s)" || b.notation == "MinkNet(o)"),
+        )
+        .run();
+
+    for (bi, bench) in run.benchmarks.iter().enumerate() {
         println!("\n== Fig. 6: {} on {} ==\n", bench.notation, bench.dataset);
-        let trace = benchmark_trace(&bench, 42);
         let mut rows = Vec::new();
-        for p in &platforms {
-            let r = p.run(&trace);
+        for ei in 0..platforms.len() {
+            let r = run.report(ei, bi, 0).expect("platforms run everything");
             let (m, x, d) = r.breakdown();
             rows.push(vec![
-                r.platform.clone(),
+                r.engine.clone(),
                 format!("{:.1}", r.total.to_millis()),
                 format!("{:.0}%", d * 100.0),
                 format!("{:.0}%", m * 100.0),

@@ -1,14 +1,17 @@
-//! Table 2: the evaluation benchmarks, with measured workload statistics.
+//! Table 2: the evaluation benchmarks, with measured workload statistics
+//! (traces built concurrently through the harness).
 
-use pointacc_bench::{benchmark_trace, print_table};
+use pointacc_bench::harness::parallel_traces;
+use pointacc_bench::print_table;
 use pointacc_nn::{stats, zoo};
 
 fn main() {
     println!("== Table 2: Evaluation Benchmarks ==\n");
+    let benchmarks = zoo::benchmarks();
+    let traces = parallel_traces(&benchmarks, 42);
     let mut rows = Vec::new();
-    for b in zoo::benchmarks() {
-        let trace = benchmark_trace(&b, 42);
-        let s = stats::network_stats(&trace);
+    for (b, trace) in benchmarks.iter().zip(&traces) {
+        let s = stats::network_stats(trace);
         rows.push(vec![
             b.notation.to_string(),
             b.application.to_string(),

@@ -39,9 +39,6 @@ fn main() {
             format!("{:.0} GOPS", edge.peak_ops() / 1e9),
         ],
     ];
-    print_table(
-        &["Chip", "Cores", "SRAM(KB)", "Area", "Freq", "DRAM", "Bandwidth", "Peak"],
-        &rows,
-    );
+    print_table(&["Chip", "Cores", "SRAM(KB)", "Area", "Freq", "DRAM", "Bandwidth", "Peak"], &rows);
     println!("\npaper: PointAcc 15.7 mm2 / 8 TOPS; PointAcc.Edge 3.9 mm2 / 512 GOPS (TSMC 40nm)");
 }

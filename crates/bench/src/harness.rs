@@ -1,0 +1,325 @@
+//! Batched, thread-parallel run driver over the unified
+//! [`Engine`] surface.
+//!
+//! Every figure of the evaluation is some slice of the same cube: a set
+//! of engines (PointAcc configurations, general-purpose platforms,
+//! Mesorasi variants) × a set of Table 2 benchmarks × trace seeds. The
+//! [`Grid`] builder evaluates that cube concurrently — trace generation
+//! parallelized over (benchmark × seed), model evaluation over
+//! (engine × benchmark × seed) — and the result exposes uniform lookup,
+//! speedup and table helpers so the per-figure binaries stay tiny.
+//!
+//! # Example
+//!
+//! ```
+//! use pointacc::{Accelerator, PointAccConfig};
+//! use pointacc_baselines::Platform;
+//! use pointacc_bench::harness::Grid;
+//!
+//! std::env::set_var("POINTACC_SCALE", "0.05");
+//! let acc = Accelerator::new(PointAccConfig::full());
+//! let gpu = Platform::rtx_2080ti();
+//! let run = Grid::new()
+//!     .engine(&acc)
+//!     .engine(&gpu)
+//!     .benchmarks(pointacc_nn::zoo::benchmarks().into_iter().take(2))
+//!     .run();
+//! let ours = run.report(0, 0, 0).expect("supported");
+//! assert!(ours.is_physical());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use pointacc::{Engine, EngineReport};
+use pointacc_nn::zoo::{self, Benchmark};
+use pointacc_nn::NetworkTrace;
+
+use crate::{benchmark_trace, geomean};
+
+/// Worker-thread count: `POINTACC_THREADS` when set, otherwise one per
+/// available core.
+pub fn worker_threads() -> usize {
+    std::env::var("POINTACC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(4, |n| n.get()))
+}
+
+/// Runs `f` over `items` on all available cores (override with
+/// `POINTACC_THREADS`), preserving input order.
+///
+/// The unit of scheduling is one item: a shared atomic cursor hands the
+/// next index to whichever worker frees up first, so skewed workloads
+/// (MinkNet traces cost orders of magnitude more than PointNet) balance
+/// automatically.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = worker_threads().min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every index produced")).collect()
+}
+
+/// Builds the traces of several benchmarks concurrently, in order.
+pub fn parallel_traces(benchmarks: &[Benchmark], seed: u64) -> Vec<NetworkTrace> {
+    parallel_map(benchmarks, |b| benchmark_trace(b, seed))
+}
+
+/// Builder for one (engine × benchmark × seed) evaluation grid.
+#[derive(Default)]
+pub struct Grid<'a> {
+    engines: Vec<&'a dyn Engine>,
+    benchmarks: Option<Vec<Benchmark>>,
+    seeds: Option<Vec<u64>>,
+}
+
+impl<'a> Grid<'a> {
+    /// An empty grid: add engines, then benchmarks/seeds, then [`run`].
+    ///
+    /// [`run`]: Grid::run
+    pub fn new() -> Self {
+        Grid { engines: Vec::new(), benchmarks: None, seeds: None }
+    }
+
+    /// Adds one engine (row of the grid).
+    #[must_use]
+    pub fn engine(mut self, engine: &'a dyn Engine) -> Self {
+        self.engines.push(engine);
+        self
+    }
+
+    /// Adds several engines.
+    #[must_use]
+    pub fn engines(mut self, engines: impl IntoIterator<Item = &'a dyn Engine>) -> Self {
+        self.engines.extend(engines);
+        self
+    }
+
+    /// Adds benchmarks (columns of the grid).
+    #[must_use]
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
+        self.benchmarks.get_or_insert_with(Vec::new).extend(benchmarks);
+        self
+    }
+
+    /// Adds trace seeds (depth of the grid).
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.get_or_insert_with(Vec::new).extend(seeds);
+        self
+    }
+
+    /// Evaluates the full grid concurrently.
+    ///
+    /// Defaults when never set: all eight Table 2 benchmarks, seed 42.
+    /// Unsupported (engine, trace) combinations — e.g. Mesorasi on a
+    /// SparseConv network — yield `None` instead of running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no engines were added, or if [`Grid::benchmarks`] /
+    /// [`Grid::seeds`] was called but contributed nothing (a filter
+    /// that matches no benchmark is a bug in the caller, not a request
+    /// for the default grid).
+    pub fn run(self) -> GridRun {
+        assert!(!self.engines.is_empty(), "grid needs at least one engine");
+        let benchmarks = self.benchmarks.unwrap_or_else(zoo::benchmarks);
+        assert!(!benchmarks.is_empty(), "grid benchmark filter matched nothing");
+        let seeds = self.seeds.unwrap_or_else(|| vec![42]);
+        assert!(!seeds.is_empty(), "grid seed list is empty");
+
+        let jobs: Vec<(usize, u64)> = benchmarks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, _)| seeds.iter().map(move |&s| (b, s)))
+            .collect();
+        let traces = parallel_map(&jobs, |&(b, seed)| benchmark_trace(&benchmarks[b], seed));
+
+        let cells: Vec<(usize, usize)> =
+            (0..self.engines.len()).flat_map(|e| (0..traces.len()).map(move |t| (e, t))).collect();
+        let engines = &self.engines;
+        let traces_ref = &traces;
+        let reports = parallel_map(&cells, |&(e, t)| {
+            let engine = engines[e];
+            let trace = &traces_ref[t];
+            engine.supports(trace).then(|| engine.evaluate(trace))
+        });
+
+        GridRun {
+            engines: self.engines.iter().map(|e| e.name()).collect(),
+            benchmarks,
+            seeds,
+            traces,
+            reports,
+        }
+    }
+}
+
+/// The evaluated grid: reports indexed by (engine, benchmark, seed).
+pub struct GridRun {
+    /// Engine names, in insertion order.
+    pub engines: Vec<String>,
+    /// Benchmarks, in insertion order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Seeds, in insertion order.
+    pub seeds: Vec<u64>,
+    traces: Vec<NetworkTrace>,
+    reports: Vec<Option<EngineReport>>,
+}
+
+impl GridRun {
+    /// The trace of `(benchmark, seed)`.
+    pub fn trace(&self, benchmark: usize, seed: usize) -> &NetworkTrace {
+        &self.traces[benchmark * self.seeds.len() + seed]
+    }
+
+    /// The report of `(engine, benchmark, seed)`; `None` when the engine
+    /// does not support that benchmark.
+    pub fn report(&self, engine: usize, benchmark: usize, seed: usize) -> Option<&EngineReport> {
+        self.reports[engine * self.traces.len() + benchmark * self.seeds.len() + seed].as_ref()
+    }
+
+    /// Latency ratio `rival / base` on `(benchmark, seed)` — the paper's
+    /// "speedup of base over rival". `None` if either side is missing.
+    pub fn speedup(&self, base: usize, rival: usize, benchmark: usize, seed: usize) -> Option<f64> {
+        let b = self.report(base, benchmark, seed)?;
+        let r = self.report(rival, benchmark, seed)?;
+        Some(r.total.0 / b.total.0)
+    }
+
+    /// Energy ratio `rival / base` on `(benchmark, seed)`.
+    pub fn energy_ratio(
+        &self,
+        base: usize,
+        rival: usize,
+        benchmark: usize,
+        seed: usize,
+    ) -> Option<f64> {
+        let b = self.report(base, benchmark, seed)?;
+        let r = self.report(rival, benchmark, seed)?;
+        Some(r.energy.get() / b.energy.get())
+    }
+
+    /// Geometric-mean speedup of `base` over `rival` across every
+    /// supported (benchmark, seed) pair; `NaN` when the pair shares no
+    /// supported cell (matching the `None` contract of [`GridRun::speedup`]).
+    pub fn geomean_speedup(&self, base: usize, rival: usize) -> f64 {
+        self.geomean_over(|b, s| self.speedup(base, rival, b, s))
+    }
+
+    /// Geometric-mean energy ratio of `rival` over `base`; `NaN` when
+    /// the pair shares no supported cell.
+    pub fn geomean_energy_ratio(&self, base: usize, rival: usize) -> f64 {
+        self.geomean_over(|b, s| self.energy_ratio(base, rival, b, s))
+    }
+
+    fn geomean_over(&self, get: impl Fn(usize, usize) -> Option<f64>) -> f64 {
+        let values: Vec<f64> = (0..self.benchmarks.len())
+            .flat_map(|b| (0..self.seeds.len()).map(move |s| (b, s)))
+            .filter_map(|(b, s)| get(b, s))
+            .collect();
+        if values.is_empty() {
+            f64::NAN
+        } else {
+            geomean(&values)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc::{Accelerator, PointAccConfig};
+    use pointacc_baselines::{Mesorasi, Platform};
+
+    #[test]
+    fn parallel_map_preserves_order_across_workers() {
+        // Force several workers so the concurrent path runs even on
+        // single-core CI machines.
+        std::env::set_var("POINTACC_THREADS", "4");
+        assert_eq!(worker_threads(), 4);
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        std::env::remove_var("POINTACC_THREADS");
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_tiny_inputs() {
+        assert_eq!(parallel_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_matches_sequential_evaluation() {
+        std::env::set_var("POINTACC_SCALE", "0.05");
+        let acc = Accelerator::new(PointAccConfig::edge());
+        let gpu = Platform::jetson_nano();
+        let benchmarks: Vec<_> = zoo::benchmarks().into_iter().take(3).collect();
+        let run = Grid::new()
+            .engines([&acc as &dyn Engine, &gpu])
+            .benchmarks(benchmarks.clone())
+            .seeds([1, 2])
+            .run();
+        assert_eq!(run.engines, vec!["PointAcc.Edge", "Jetson Nano"]);
+        for (b, bench) in benchmarks.iter().enumerate() {
+            for s in 0..2 {
+                let trace = benchmark_trace(bench, [1, 2][s]);
+                assert_eq!(run.trace(b, s).network, trace.network);
+                let want = gpu.run(&trace);
+                assert_eq!(run.report(1, b, s), Some(&want));
+                assert!(run.speedup(0, 1, b, s).unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matched nothing")]
+    fn empty_benchmark_filter_panics_instead_of_defaulting() {
+        let edge = Accelerator::new(PointAccConfig::edge());
+        let none = zoo::benchmarks().into_iter().filter(|b| b.notation == "renamed-away");
+        let _ = Grid::new().engine(&edge).benchmarks(none).run();
+    }
+
+    #[test]
+    fn unsupported_cells_are_none_not_panics() {
+        std::env::set_var("POINTACC_SCALE", "0.05");
+        let mesorasi = Mesorasi::new();
+        let minknet = zoo::benchmarks()
+            .into_iter()
+            .find(|b| b.notation == "MinkNet(i)")
+            .expect("MinkNet(i) exists");
+        let run = Grid::new().engine(&mesorasi).benchmarks([minknet]).run();
+        assert_eq!(run.report(0, 0, 0), None);
+        assert_eq!(run.speedup(0, 0, 0, 0), None);
+        assert!(run.geomean_speedup(0, 0).is_nan());
+    }
+}

@@ -1,13 +1,17 @@
 //! Shared harness utilities for the per-figure benchmark binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper; this library holds the common plumbing: building traces for the
-//! Table 2 benchmarks on the synthetic datasets, aligned table printing,
+//! paper; this library holds the common plumbing: the thread-parallel
+//! [`harness`] evaluating (engine × benchmark × seed) grids over the
+//! unified [`pointacc::Engine`] surface, trace building for the Table 2
+//! benchmarks on the synthetic datasets, aligned table printing,
 //! geometric means, and the paper's reported numbers for side-by-side
 //! comparison.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use pointacc_data::Dataset;
 use pointacc_nn::{zoo::Benchmark, ExecMode, Executor, NetworkTrace};
@@ -27,10 +31,7 @@ pub fn dataset_by_name(name: &str) -> Dataset {
 /// Point-count scale factor from `POINTACC_SCALE` (default 1.0). Set
 /// e.g. `POINTACC_SCALE=0.25` for quick smoke runs.
 pub fn scale() -> f64 {
-    std::env::var("POINTACC_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("POINTACC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// Builds the execution trace of one benchmark on its synthetic dataset

@@ -150,21 +150,18 @@ impl Accelerator {
         // during mapping cycles.
         let evals_per_cycle = (self.cfg.merger_width as u64 / 2)
             * (self.cfg.merger_width.trailing_zeros() as u64 + 2);
-        let mut compute_energy = self.energy.macs(macs)
-            + self.energy.compares(mpu_cycles.get() * evals_per_cycle);
+        let mut compute_energy =
+            self.energy.macs(macs) + self.energy.compares(mpu_cycles.get() * evals_per_cycle);
         // Banked-access and control overhead beyond the raw CACTI
         // per-access figure (calibration constant).
         let mut sram_energy = self.sram_energy(layer, dram_bytes) * 3.0;
-        let mut dram_energy = PicoJoules::new(
-            dram_bytes as f64 * self.cfg.dram.energy_pj_per_byte(),
-        );
+        let mut dram_energy =
+            PicoJoules::new(dram_bytes as f64 * self.cfg.dram.energy_pj_per_byte());
         // Uncounted system power (clock tree, control, DRAM background)
         // accrues with latency and is distributed proportionally so the
         // component breakdown is preserved.
-        let static_pj =
-            latency.to_seconds(self.cfg.freq_hz) * self.cfg.system_power_w * 1e12;
-        let dynamic =
-            (compute_energy.get() + sram_energy.get() + dram_energy.get()).max(1e-12);
+        let static_pj = latency.to_seconds(self.cfg.freq_hz) * self.cfg.system_power_w * 1e12;
+        let dynamic = (compute_energy.get() + sram_energy.get() + dram_energy.get()).max(1e-12);
         let scale = 1.0 + static_pj / dynamic;
         compute_energy = compute_energy * scale;
         sram_energy = sram_energy * scale;
@@ -207,8 +204,7 @@ impl Accelerator {
                     // High-dimensional distances lengthen stage CD: the
                     // reduction over `dim` components shares the N lanes.
                     let extra = (n_queries as u64)
-                        * (n_in as u64 * dim as u64)
-                            .div_ceil(4 * self.cfg.merger_width as u64);
+                        * (n_in as u64 * dim as u64).div_ceil(4 * self.cfg.merger_width as u64);
                     self.mpu.knn_cycles_estimate(n_in, n_queries, k) + extra
                 }
             })
@@ -254,8 +250,12 @@ impl Accelerator {
             ComputeKind::SparseConv | ComputeKind::Grouped | ComputeKind::Interpolate => {
                 let plan = self.access_plan(layer);
                 if opts.gather_scatter_flow {
-                    let (t, _) =
-                        sparse_layer_traffic(Flow::GatherMatMulScatter, layer, plan, self.cfg.elem_bytes);
+                    let (t, _) = sparse_layer_traffic(
+                        Flow::GatherMatMulScatter,
+                        layer,
+                        plan,
+                        self.cfg.elem_bytes,
+                    );
                     return (t.total(), None, None, false);
                 }
                 let cache_cfg = match opts.cache {
@@ -312,8 +312,7 @@ impl Accelerator {
         let mut best_bytes = u64::MAX;
         for &bp in &BLOCK_CANDIDATES {
             let cfg = self.cache_config(layer, bp);
-            let stats =
-                crate::mmu::simulate_sparse_accesses(cfg, maps, plan, Some(SEARCH_SAMPLE));
+            let stats = crate::mmu::simulate_sparse_accesses(cfg, maps, plan, Some(SEARCH_SAMPLE));
             // Normalize per access so truncated samples compare fairly.
             let bytes = stats.dram_bytes * 1_000 / stats.accesses.max(1);
             if bytes < best_bytes {
@@ -388,10 +387,8 @@ mod tests {
         let t = trace(500);
         let acc = Accelerator::new(PointAccConfig::edge());
         let fod = acc.run(&t);
-        let gms = acc.run_with(
-            &t,
-            RunOptions { gather_scatter_flow: true, ..RunOptions::default() },
-        );
+        let gms =
+            acc.run_with(&t, RunOptions { gather_scatter_flow: true, ..RunOptions::default() });
         assert!(
             gms.dram_bytes() > 2 * fod.dram_bytes(),
             "GMS {} should far exceed FoD {}",
@@ -405,18 +402,15 @@ mod tests {
         let t = trace(500);
         let acc = Accelerator::new(PointAccConfig::edge());
         let cached = acc.run(&t);
-        let uncached = acc.run_with(
-            &t,
-            RunOptions { cache: CachePolicy::Off, ..RunOptions::default() },
-        );
+        let uncached =
+            acc.run_with(&t, RunOptions { cache: CachePolicy::Off, ..RunOptions::default() });
         assert!(uncached.dram_bytes() > cached.dram_bytes());
     }
 
     #[test]
     fn fusion_ablation_increases_dense_traffic() {
-        let pts: PointSet = (0..512)
-            .map(|i| Point3::new((i as f32).sin(), (i as f32).cos(), 0.0))
-            .collect();
+        let pts: PointSet =
+            (0..512).map(|i| Point3::new((i as f32).sin(), (i as f32).cos(), 0.0)).collect();
         let t = Executor::new(ExecMode::TraceOnly, 1).run(&zoo::pointnet(), &pts).trace;
         let acc = Accelerator::new(PointAccConfig::edge());
         let fused = acc.run(&t);

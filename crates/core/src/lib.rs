@@ -42,6 +42,7 @@
 
 mod accelerator;
 mod config;
+pub mod engine;
 pub mod mmu;
 pub mod mpu;
 mod mxu;
@@ -49,6 +50,7 @@ mod perf;
 
 pub use accelerator::{Accelerator, CachePolicy, RunOptions};
 pub use config::PointAccConfig;
+pub use engine::{Engine, EngineReport};
 pub use mpu::Mpu;
 pub use mxu::Mxu;
-pub use perf::{LayerPerf, RunReport};
+pub use perf::{LayerPerf, RunReport, Seconds};

@@ -141,12 +141,7 @@ pub fn simulate_sparse_accesses(
     sample_limit: Option<u64>,
 ) -> CacheStats {
     let mut cache = FeatureCache::new(cfg);
-    let n_out = maps
-        .entries()
-        .iter()
-        .map(|e| e.output)
-        .max()
-        .map_or(0, |m| m as usize + 1);
+    let n_out = maps.entries().iter().map(|e| e.output).max().map_or(0, |m| m as usize + 1);
     let tile_pts = plan.out_tile_points.max(1);
     let n_tiles = n_out.div_ceil(tile_pts).max(1);
     'outer: for t in 0..n_tiles {

@@ -61,10 +61,7 @@ pub fn sparse_layer_traffic(
     plan: SparseAccessPlan,
     elem_bytes: usize,
 ) -> (LayerTraffic, Option<CacheStats>) {
-    let maps = layer
-        .maps
-        .as_ref()
-        .expect("sparse layer traffic requires a map table");
+    let maps = layer.maps.as_ref().expect("sparse layer traffic requires a map table");
     let n_maps = maps.len() as u64;
     let e = elem_bytes as u64;
     let ic = layer.in_ch as u64;
@@ -181,8 +178,7 @@ mod tests {
         // Paper Fig. 19: the configurable cache reduces per-layer DRAM
         // access 3.5–6.3×.
         let l = layer(2048, 8, 64);
-        let (nocache, _) =
-            sparse_layer_traffic(Flow::FetchOnDemand { cache: None }, &l, plan(), 2);
+        let (nocache, _) = sparse_layer_traffic(Flow::FetchOnDemand { cache: None }, &l, plan(), 2);
         let cfg = CacheConfig { capacity_bytes: 256 * 1024, block_points: 16, row_bytes: 128 };
         let (cached, stats) =
             sparse_layer_traffic(Flow::FetchOnDemand { cache: Some(cfg) }, &l, plan(), 2);

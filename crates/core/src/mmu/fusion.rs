@@ -68,8 +68,8 @@ pub fn plan_fusion(layers: &[LayerTrace], buf_bytes: usize, elem_bytes: usize) -
         let mut j = i + 1;
         while j < layers.len() && layers[j].fusable {
             let l = &layers[j];
-            let joins = l.n_out == chain_rows
-                || (l.compute == ComputeKind::Pool && l.n_in == chain_rows);
+            let joins =
+                l.n_out == chain_rows || (l.compute == ComputeKind::Pool && l.n_in == chain_rows);
             if !joins {
                 break;
             }
@@ -125,10 +125,8 @@ fn max_fusable_prefix(
 fn tile_points_for(chain: &[LayerTrace], buf_bytes: usize, elem_bytes: usize) -> usize {
     // Layers after a pooling reduction hold one row per tile; their
     // footprint is negligible next to the pre-pool activations.
-    let pre_pool = chain
-        .iter()
-        .position(|l| l.compute == ComputeKind::Pool)
-        .map_or(chain.len(), |p| p + 1);
+    let pre_pool =
+        chain.iter().position(|l| l.compute == ComputeKind::Pool).map_or(chain.len(), |p| p + 1);
     let per_point: usize = chain
         .first()
         .map(|l| l.in_ch)
@@ -152,10 +150,7 @@ pub fn fused_activation_bytes(chain: &[LayerTrace], elem_bytes: usize) -> u64 {
 
 /// DRAM activation traffic of the same chain run layer by layer.
 pub fn unfused_activation_bytes(chain: &[LayerTrace], elem_bytes: usize) -> u64 {
-    chain
-        .iter()
-        .map(|l| (l.n_in * l.in_ch + l.n_out * l.out_ch) as u64 * elem_bytes as u64)
-        .sum()
+    chain.iter().map(|l| (l.n_in * l.in_ch + l.n_out * l.out_ch) as u64 * elem_bytes as u64).sum()
 }
 
 /// Simulates the fused execution of one chain on a MIR stack (Fig. 12b),
@@ -176,9 +171,7 @@ pub fn simulate_fused_chain(
         let pts = tile_points.min(rows - t * tile_points);
         // Load layer-0 inputs for this tile.
         let in_bytes = pts * chain[0].in_ch * elem_bytes;
-        stack
-            .push(0, in_bytes)
-            .expect("planner must size tiles to fit the stack");
+        stack.push(0, in_bytes).expect("planner must size tiles to fit the stack");
         dram += in_bytes as u64;
         // Walk down the chain: each layer consumes the tile below and
         // pushes its own (Fig. 12b stages 1–2). The consumed tile is
@@ -187,9 +180,7 @@ pub fn simulate_fused_chain(
         for (li, l) in chain.iter().enumerate() {
             let out_bytes = pts * l.out_ch * elem_bytes;
             stack.pop().expect("input tile must be resident");
-            stack
-                .push(li as u64 + 1, out_bytes)
-                .expect("planner must size tiles to fit the stack");
+            stack.push(li as u64 + 1, out_bytes).expect("planner must size tiles to fit the stack");
         }
         // Final layer's tile goes to DRAM (or the next group).
         let out = stack.pop().expect("output tile must be resident");
@@ -221,7 +212,8 @@ mod tests {
 
     #[test]
     fn plans_single_group_when_it_fits() {
-        let layers = vec![fc(1024, 64, 64, true), fc(1024, 64, 128, true), fc(1024, 128, 128, true)];
+        let layers =
+            vec![fc(1024, 64, 64, true), fc(1024, 64, 128, true), fc(1024, 128, 128, true)];
         let plan = plan_fusion(&layers, 256 * 1024, 2);
         assert_eq!(plan.groups.len(), 1);
         assert_eq!(plan.groups[0].layers, vec![0, 1, 2]);
@@ -231,11 +223,8 @@ mod tests {
     #[test]
     fn drops_last_layer_on_overflow() {
         // Huge final layer forces the greedy planner to split.
-        let layers = vec![
-            fc(1024, 64, 64, true),
-            fc(1024, 64, 64, true),
-            fc(1024, 64, 100_000, true),
-        ];
+        let layers =
+            vec![fc(1024, 64, 64, true), fc(1024, 64, 64, true), fc(1024, 64, 100_000, true)];
         let plan = plan_fusion(&layers, 16 * 1024, 2);
         assert!(!plan.groups.is_empty());
         assert!(
@@ -263,11 +252,7 @@ mod tests {
         let fused = fused_activation_bytes(&chain, 2);
         let unfused = unfused_activation_bytes(&chain, 2);
         let reduction = 1.0 - fused as f64 / unfused as f64;
-        assert!(
-            reduction > 0.3,
-            "expected ≥ 30 % reduction, got {:.0} %",
-            reduction * 100.0
-        );
+        assert!(reduction > 0.3, "expected ≥ 30 % reduction, got {:.0} %", reduction * 100.0);
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod flows;
 pub mod fusion;
 pub mod mir;
 
-pub use cache::{simulate_sparse_accesses, CacheConfig, CacheStats, FeatureCache, SparseAccessPlan};
+pub use cache::{
+    simulate_sparse_accesses, CacheConfig, CacheStats, FeatureCache, SparseAccessPlan,
+};
 pub use flows::{dense_layer_traffic, sparse_layer_traffic, Flow, LayerTraffic};
 pub use fusion::{
     fused_activation_bytes, plan_fusion, simulate_fused_chain, unfused_activation_bytes,

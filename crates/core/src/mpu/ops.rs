@@ -145,12 +145,8 @@ impl Mpu {
         let (mut out, stats) = self.knn_inner(input, queries, k, Some(radius2));
         for (qi, nbrs) in out.iter_mut().enumerate() {
             if nbrs.is_empty() {
-                let (fallback, _) = self.knn_inner(
-                    input,
-                    &PointSet::from_points(vec![queries.point(qi)]),
-                    1,
-                    None,
-                );
+                let (fallback, _) =
+                    self.knn_inner(input, &PointSet::from_points(vec![queries.point(qi)]), 1, None);
                 nbrs.extend_from_slice(&fallback[0]);
             }
             let first = nbrs[0];
@@ -206,8 +202,8 @@ impl Mpu {
 
     /// Closed-form kNN/ball-query cycle estimate.
     pub fn knn_cycles_estimate(&self, n: usize, n_queries: usize, k: usize) -> u64 {
-        let per_query = self.engine.topk_cycles_estimate(n, k)
-            + (n as u64).div_ceil(self.width as u64).max(1);
+        let per_query =
+            self.engine.topk_cycles_estimate(n, k) + (n as u64).div_ceil(self.width as u64).max(1);
         per_query * n_queries as u64
     }
 
@@ -264,11 +260,7 @@ impl Mpu {
                         (pair[1].payload, pair[0].payload)
                     };
                     debug_assert!(outp & OUTPUT_TAG != 0, "duplicate key within one cloud");
-                    entries.push(MapEntry::new(
-                        inp as u32,
-                        (outp & !OUTPUT_TAG) as u32,
-                        w as u16,
-                    ));
+                    entries.push(MapEntry::new(inp as u32, (outp & !OUTPUT_TAG) as u32, w as u16));
                 }
             }
             stats.comparator_evals += merged.len().saturating_sub(1) as u64;
@@ -300,11 +292,8 @@ impl Mpu {
     pub fn quantize(&self, input: &VoxelCloud, factor: i32) -> (VoxelCloud, MappingStats) {
         let mut stats = MappingStats::default();
         let new_stride = input.stride() * factor;
-        let items: Vec<SortItem> = input
-            .coords()
-            .iter()
-            .map(|c| SortItem::new(c.quantize(new_stride).key(), 0))
-            .collect();
+        let items: Vec<SortItem> =
+            input.coords().iter().map(|c| SortItem::new(c.quantize(new_stride).key(), 0)).collect();
         stats.distance_ops += input.len() as u64;
         let (sorted, rs) = self.engine.sort(&items);
         stats.absorb_rank(rs);
@@ -359,7 +348,10 @@ mod tests {
             x ^= x << 17;
             ((x % 32) as i32 - 16) * stride
         };
-        VoxelCloud::from_unsorted((0..n).map(|_| Coord::new(step(), step(), step())).collect(), stride)
+        VoxelCloud::from_unsorted(
+            (0..n).map(|_| Coord::new(step(), step(), step())).collect(),
+            stride,
+        )
     }
 
     #[test]

@@ -71,12 +71,12 @@ impl RankEngine {
         let mut runs: Vec<Vec<SortItem>> = Vec::new();
         for chunk in items.chunks(n) {
             let mut run = chunk.to_vec();
-            run.sort_by(|x, y| (x.key, x.payload).cmp(&(y.key, y.payload)));
+            run.sort_by_key(|x| (x.key, x.payload));
             run.truncate(k);
             runs.push(run);
             stats.cycles += 1;
-            stats.comparator_evals += 2 * sorter.comparators() as u64
-                + (n as u64 / 2) * (n.trailing_zeros() as u64);
+            stats.comparator_evals +=
+                2 * sorter.comparators() as u64 + (n as u64 / 2) * (n.trailing_zeros() as u64);
         }
         // Iterative pairwise merge (BF ↔ MS forwarding loop), truncating
         // each merged run to k.
@@ -117,7 +117,7 @@ impl RankEngine {
         let passes = 64 - runs.leading_zeros() as u64 - u64::from(runs.is_power_of_two());
         let passes = if runs > 1 { passes + u64::from(!runs.is_power_of_two()) } else { 0 };
         let per_pass = (len as u64).div_ceil(h);
-        runs + passes.max(0) * per_pass + self.merger.depth()
+        runs + passes * per_pass + self.merger.depth()
     }
 
     /// Closed-form cycle estimate for top-k over `len` elements.
@@ -185,11 +185,7 @@ mod tests {
             let mut want: Vec<u128> = input.iter().map(|i| i.key).collect();
             want.sort_unstable();
             want.truncate(k);
-            assert_eq!(
-                out.iter().map(|i| i.key).collect::<Vec<_>>(),
-                want,
-                "n={n} k={k}"
-            );
+            assert_eq!(out.iter().map(|i| i.key).collect::<Vec<_>>(), want, "n={n} k={k}");
         }
     }
 

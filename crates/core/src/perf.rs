@@ -1,7 +1,46 @@
 //! Performance reports: per-layer and whole-network cycles, DRAM traffic
 //! and energy, broken down the way the paper's Fig. 21 reports them.
 
+use std::fmt;
+
 use pointacc_sim::{Cycles, PicoJoules};
+
+use crate::engine::EngineReport;
+
+/// Wall-clock seconds.
+///
+/// The single latency unit every hardware model reports in: cycle-based
+/// models convert through their clock frequency
+/// ([`Seconds::from_cycles`]), analytic models produce seconds directly.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc::Seconds;
+/// use pointacc_sim::Cycles;
+/// assert_eq!(Seconds(0.25).to_millis(), 250.0);
+/// assert_eq!(Seconds::from_cycles(Cycles::new(2_000_000), 1.0e9).to_millis(), 2.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, PartialOrd, Debug, Default)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// Converts a cycle count at `freq_hz` into seconds.
+    pub fn from_cycles(cycles: Cycles, freq_hz: f64) -> Self {
+        Seconds(cycles.to_seconds(freq_hz))
+    }
+
+    /// Milliseconds.
+    pub fn to_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.to_millis())
+    }
+}
 
 /// Performance record of one executed layer.
 #[derive(Clone, Debug, Default)]
@@ -92,11 +131,7 @@ impl RunReport {
             .map(|l| l.dram_cycles.get().saturating_sub(l.mxu_cycles.get()))
             .sum();
         let matmul = self.total_cycles().get() - mapping - exposed_dram;
-        (
-            mapping as f64 / total,
-            matmul as f64 / total,
-            exposed_dram as f64 / total,
-        )
+        (mapping as f64 / total, matmul as f64 / total, exposed_dram as f64 / total)
     }
 
     /// Energy breakdown `(compute, sram, dram)` as fractions (Fig. 21b).
@@ -106,6 +141,25 @@ impl RunReport {
         let sram: f64 = self.layers.iter().map(|l| l.sram_energy.get()).sum();
         let dram: f64 = self.layers.iter().map(|l| l.dram_energy.get()).sum();
         (compute / total, sram / total, dram / total)
+    }
+
+    /// Collapses the per-layer record into the unified [`EngineReport`]
+    /// every hardware model shares: absolute seconds per component (the
+    /// fractions of [`RunReport::latency_breakdown`] applied to the
+    /// overlapped total), total energy and DRAM traffic.
+    pub fn to_engine_report(&self) -> EngineReport {
+        let total = self.total_cycles().to_seconds(self.freq_hz);
+        let (mapping, matmul, datamove) = self.latency_breakdown();
+        EngineReport {
+            engine: self.config.clone(),
+            network: self.network.clone(),
+            mapping: Seconds(total * mapping),
+            matmul: Seconds(total * matmul),
+            datamove: Seconds(total * datamove),
+            total: Seconds(total),
+            energy: self.energy(),
+            dram_bytes: self.dram_bytes(),
+        }
     }
 
     /// Mean matrix-unit utilization weighted by cycles.

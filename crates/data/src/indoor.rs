@@ -33,10 +33,8 @@ pub fn generate_room(rng: &mut StdRng, n: usize) -> PointSet {
 
     // Surface areas for weighting.
     let shell_area = 2.0 * lx * ly + 2.0 * lx * lz + 2.0 * ly * lz;
-    let furn_area: f32 = furniture
-        .iter()
-        .map(|(_, h)| 8.0 * (h.x * h.y + h.y * h.z + h.x * h.z))
-        .sum();
+    let furn_area: f32 =
+        furniture.iter().map(|(_, h)| 8.0 * (h.x * h.y + h.y * h.z + h.x * h.z)).sum();
 
     let noise = 0.01f32;
     let mut points = Vec::with_capacity(n);
@@ -64,14 +62,9 @@ fn sample_room_shell(rng: &mut StdRng, lx: f32, ly: f32, lz: f32) -> Point3 {
     let total = 2.0 * (a_floor + a_wall_x + a_wall_y);
     let mut pick = rng.gen_range(0.0..total);
     // Floor, ceiling, 2 × x-walls, 2 × y-walls.
-    for (area, face) in [
-        (a_floor, 0),
-        (a_floor, 1),
-        (a_wall_x, 2),
-        (a_wall_x, 3),
-        (a_wall_y, 4),
-        (a_wall_y, 5),
-    ] {
+    for (area, face) in
+        [(a_floor, 0), (a_floor, 1), (a_wall_x, 2), (a_wall_x, 3), (a_wall_y, 4), (a_wall_y, 5)]
+    {
         if pick < area {
             let u = rng.gen_range(0.0..1.0f32);
             let v = rng.gen_range(0.0..1.0f32);
@@ -129,10 +122,6 @@ mod tests {
         // Indoor scenes are shell-like: orders of magnitude below a dense
         // volume (paper Fig. 5 reports < 1e-2 at the full-room point
         // count; a 20k sample at 5 cm voxels sits slightly above).
-        assert!(
-            vc.density() < 5e-2,
-            "indoor density should be shell-like, got {}",
-            vc.density()
-        );
+        assert!(vc.density() < 5e-2, "indoor density should be shell-like, got {}", vc.density());
     }
 }

@@ -112,11 +112,7 @@ impl Scene {
 fn ray_box(o: Point3, d: Point3, c: Point3, h: Point3) -> Option<f32> {
     let mut tmin = f32::NEG_INFINITY;
     let mut tmax = f32::INFINITY;
-    for (oc, dc, cc, hc) in [
-        (o.x, d.x, c.x, h.x),
-        (o.y, d.y, c.y, h.y),
-        (o.z, d.z, c.z, h.z),
-    ] {
+    for (oc, dc, cc, hc) in [(o.x, d.x, c.x, h.x), (o.y, d.y, c.y, h.y), (o.z, d.z, c.z, h.z)] {
         if dc.abs() < 1e-8 {
             if (oc - cc).abs() > hc {
                 return None;
@@ -157,11 +153,7 @@ pub fn generate_scan(rng: &mut StdRng, n: usize, profile: ScanProfile) -> PointS
                 let elev = profile.elev_min
                     + (profile.elev_max - profile.elev_min) * b as f32
                         / (profile.beams - 1).max(1) as f32;
-                let dir = Point3::new(
-                    elev.cos() * az.cos(),
-                    elev.cos() * az.sin(),
-                    elev.sin(),
-                );
+                let dir = Point3::new(elev.cos() * az.cos(), elev.cos() * az.sin(), elev.sin());
                 if let Some(t) = scene.raycast(origin, dir, profile.max_range) {
                     let jitter = rng.gen_range(-noise..noise);
                     points.push(origin.add(dir.scale(t + jitter)));

@@ -22,13 +22,9 @@ enum Primitive {
 impl Primitive {
     fn area(&self) -> f32 {
         match *self {
-            Primitive::Box { h, .. } => {
-                8.0 * (h.x * h.y + h.y * h.z + h.x * h.z)
-            }
+            Primitive::Box { h, .. } => 8.0 * (h.x * h.y + h.y * h.z + h.x * h.z),
             Primitive::Sphere { r, .. } => 4.0 * std::f32::consts::PI * r * r,
-            Primitive::Cylinder { r, hh, .. } => {
-                2.0 * std::f32::consts::PI * r * 2.0 * hh
-            }
+            Primitive::Cylinder { r, hh, .. } => 2.0 * std::f32::consts::PI * r * 2.0 * hh,
         }
     }
 
@@ -127,19 +123,9 @@ pub fn generate_object(rng: &mut StdRng, n: usize, part_structure: bool) -> Poin
     }
 
     // Normalize to the unit sphere (standard ModelNet preprocessing).
-    let centroid = points
-        .iter()
-        .fold(Point3::ORIGIN, |acc, p| acc.add(*p))
-        .scale(1.0 / n as f32);
-    let max_r = points
-        .iter()
-        .map(|p| p.sub(centroid).norm())
-        .fold(0.0f32, f32::max)
-        .max(1e-6);
-    let points = points
-        .into_iter()
-        .map(|p| p.sub(centroid).scale(1.0 / max_r))
-        .collect();
+    let centroid = points.iter().fold(Point3::ORIGIN, |acc, p| acc.add(*p)).scale(1.0 / n as f32);
+    let max_r = points.iter().map(|p| p.sub(centroid).norm()).fold(0.0f32, f32::max).max(1e-6);
+    let points = points.into_iter().map(|p| p.sub(centroid).scale(1.0 / max_r)).collect();
     PointSet::from_points(points)
 }
 

@@ -86,9 +86,7 @@ impl PointSet {
         let idx = coords
             .iter()
             .map(|c| {
-                cloud
-                    .index_of(*c)
-                    .expect("voxelized coordinate must be present in its own cloud")
+                cloud.index_of(*c).expect("voxelized coordinate must be present in its own cloud")
                     as u32
             })
             .collect();
@@ -210,15 +208,12 @@ impl VoxelCloud {
         // lexicographic order, so the quantized sequence must be re-sorted
         // before de-duplication — which is why the hardware routes the
         // quantized cloud through the mapping unit's sorter.
-        let quantized: Vec<Coord> =
-            self.coords.iter().map(|c| c.quantize(new_stride)).collect();
+        let quantized: Vec<Coord> = self.coords.iter().map(|c| c.quantize(new_stride)).collect();
         let cloud = VoxelCloud::from_unsorted(quantized.clone(), new_stride);
         let idx = quantized
             .iter()
             .map(|c| {
-                cloud
-                    .index_of(*c)
-                    .expect("quantized coordinate must be in the downsampled cloud")
+                cloud.index_of(*c).expect("quantized coordinate must be in the downsampled cloud")
                     as u32
             })
             .collect();
@@ -284,10 +279,7 @@ mod tests {
 
     #[test]
     fn downsample_preserves_alignment_invariant() {
-        let vc = VoxelCloud::from_unsorted(
-            vec![Coord::new(-4, 6, 2), Coord::new(0, -2, 4)],
-            2,
-        );
+        let vc = VoxelCloud::from_unsorted(vec![Coord::new(-4, 6, 2), Coord::new(0, -2, 4)], 2);
         let (ds, _) = vc.downsample(2);
         assert_eq!(ds.stride(), 4);
         for c in ds.coords() {
@@ -331,10 +323,8 @@ mod tests {
 
     #[test]
     fn bounds_and_select() {
-        let ps = PointSet::from_points(vec![
-            Point3::new(-1.0, 2.0, 0.0),
-            Point3::new(3.0, -4.0, 5.0),
-        ]);
+        let ps =
+            PointSet::from_points(vec![Point3::new(-1.0, 2.0, 0.0), Point3::new(3.0, -4.0, 5.0)]);
         let (min, max) = ps.bounds().unwrap();
         assert_eq!(min, Point3::new(-1.0, -4.0, 0.0));
         assert_eq!(max, Point3::new(3.0, 2.0, 5.0));

@@ -161,11 +161,7 @@ mod tests {
 
     #[test]
     fn key_roundtrip() {
-        for c in [
-            Coord::ZERO,
-            Coord::new(1, -2, 3),
-            Coord::new(i32::MIN / 2, i32::MAX / 2, 0),
-        ] {
+        for c in [Coord::ZERO, Coord::new(1, -2, 3), Coord::new(i32::MIN / 2, i32::MAX / 2, 0)] {
             assert_eq!(Coord::from_key(c.key()), c);
         }
     }

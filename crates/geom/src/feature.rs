@@ -180,13 +180,7 @@ impl FeatureMatrix {
         if self.rows != other.rows || self.cols != other.cols {
             return None;
         }
-        Some(
-            self.data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f32, f32::max),
-        )
+        Some(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 }
 

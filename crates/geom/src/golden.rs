@@ -54,12 +54,8 @@ pub fn kernel_offsets(k: usize) -> Vec<Coord> {
 /// input tensor stride).
 pub fn kernel_map_hash(input: &VoxelCloud, output: &VoxelCloud, kernel_size: usize) -> MapTable {
     let offsets = kernel_offsets(kernel_size);
-    let table: HashMap<Coord, u32> = input
-        .coords()
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i as u32))
-        .collect();
+    let table: HashMap<Coord, u32> =
+        input.coords().iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
     let s = input.stride();
     let mut entries = Vec::new();
     for (w, &d) in offsets.iter().enumerate() {
@@ -119,28 +115,15 @@ pub fn farthest_point_sampling(points: &PointSet, m: usize) -> Vec<usize> {
 /// unit's top-k). Returns `queries.len()` vectors of ≤ `k` indices in
 /// ascending `(dist², index)` order.
 pub fn k_nearest_neighbors(input: &PointSet, queries: &PointSet, k: usize) -> Vec<Vec<usize>> {
-    queries
-        .points()
-        .iter()
-        .map(|&q| knn_one(input, q, k, None))
-        .collect()
+    queries.points().iter().map(|&q| knn_one(input, q, k, None)).collect()
 }
 
 /// Ball query (paper §2.1.2): like kNN but only points within squared
 /// radius `radius2` qualify. PointNet++ pads short neighborhoods by
 /// repeating the first (nearest) neighbor; this function returns the
 /// unpadded result and [`ball_query_padded`] applies the padding.
-pub fn ball_query(
-    input: &PointSet,
-    queries: &PointSet,
-    radius2: f32,
-    k: usize,
-) -> Vec<Vec<usize>> {
-    queries
-        .points()
-        .iter()
-        .map(|&q| knn_one(input, q, k, Some(radius2)))
-        .collect()
+pub fn ball_query(input: &PointSet, queries: &PointSet, radius2: f32, k: usize) -> Vec<Vec<usize>> {
+    queries.points().iter().map(|&q| knn_one(input, q, k, Some(radius2))).collect()
 }
 
 /// Ball query with PointNet++-style padding: neighborhoods shorter than
@@ -174,7 +157,7 @@ fn knn_one(input: &PointSet, q: Point3, k: usize, radius2: Option<f32>) -> Vec<u
         .iter()
         .enumerate()
         .map(|(i, &p)| (p.dist2(q), i))
-        .filter(|&(d, _)| radius2.map_or(true, |r2| d <= r2))
+        .filter(|&(d, _)| radius2.is_none_or(|r2| d <= r2))
         .collect();
     cands.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
     cands.truncate(k);
@@ -188,9 +171,7 @@ pub fn neighbors_to_maps(neighbors: &[Vec<usize>]) -> MapTable {
     let entries = neighbors
         .iter()
         .enumerate()
-        .flat_map(|(q, ns)| {
-            ns.iter().map(move |&p| MapEntry::new(p as u32, q as u32, 0))
-        })
+        .flat_map(|(q, ns)| ns.iter().map(move |&p| MapEntry::new(p as u32, q as u32, 0)))
         .collect();
     MapTable::from_entries(entries, 1)
 }
@@ -203,9 +184,7 @@ pub fn neighbors_to_ranked_maps(neighbors: &[Vec<usize>], k: usize) -> MapTable 
         .iter()
         .enumerate()
         .flat_map(|(q, ns)| {
-            ns.iter()
-                .enumerate()
-                .map(move |(r, &p)| MapEntry::new(p as u32, q as u32, r as u16))
+            ns.iter().enumerate().map(move |(r, &p)| MapEntry::new(p as u32, q as u32, r as u16))
         })
         .collect();
     MapTable::from_entries(entries, k)
@@ -254,10 +233,7 @@ mod tests {
         let maps = kernel_map_hash(&c, &c, 3);
         // In our 3-D offset enumeration, δ = (-1,-1,0) means p = q + δ, so
         // maps pair input (1,1,0) with output (2,2,0).
-        let w = kernel_offsets(3)
-            .iter()
-            .position(|&d| d == Coord::new(-1, -1, 0))
-            .unwrap();
+        let w = kernel_offsets(3).iter().position(|&d| d == Coord::new(-1, -1, 0)).unwrap();
         let g = maps.group(w);
         assert_eq!(g.len(), 2);
         let p0 = c.index_of(Coord::new(1, 1, 0)).unwrap() as u32;

@@ -44,12 +44,14 @@ impl Point3 {
     }
 
     /// Component-wise subtraction, yielding the offset `self - other`.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(self, other: Point3) -> Point3 {
         Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
     }
 
     /// Component-wise addition.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, other: Point3) -> Point3 {
         Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)

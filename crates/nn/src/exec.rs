@@ -113,9 +113,7 @@ impl Executor {
                 (State::Pts(points.clone()), f)
             }
             Domain::VoxelBased => {
-                let v = net
-                    .voxel_size()
-                    .expect("voxel-based network requires a voxel size");
+                let v = net.voxel_size().expect("voxel-based network requires a voxel size");
                 let (vc, _) = points.voxelize(v);
                 let centers: Vec<Point3> = vc
                     .coords()
@@ -270,11 +268,7 @@ impl Executor {
         let in_ch = ctx.feats.cols();
         let out = self.sparse_conv_compute(ctx, &maps, out_vc.len(), in_ch, out_ch);
         ctx.layers.push(LayerTrace {
-            name: format!(
-                "{}.{}",
-                ctx.layer_idx,
-                if stride > 1 { "conv_down" } else { "conv" }
-            ),
+            name: format!("{}.{}", ctx.layer_idx, if stride > 1 { "conv_down" } else { "conv" }),
             compute: ComputeKind::SparseConv,
             n_in: vc.len(),
             n_out: out_vc.len(),
@@ -296,10 +290,8 @@ impl Executor {
             State::Vox(v) => v.clone(),
             _ => panic!("SparseConvTr requires a voxelized tensor"),
         };
-        let (fine_state, skip_feats) = ctx
-            .skips
-            .pop()
-            .expect("SparseConvTr requires a matching stride-2 SparseConv skip");
+        let (fine_state, skip_feats) =
+            ctx.skips.pop().expect("SparseConvTr requires a matching stride-2 SparseConv skip");
         let fine = match &fine_state {
             State::Vox(v) => v.clone(),
             _ => panic!("SparseConvTr skip must be voxelized"),
@@ -360,8 +352,7 @@ impl Executor {
                 continue;
             }
             let wm = self.weights.matrix(ctx.layer_idx, w, in_ch, out_ch);
-            let gathered =
-                ctx.feats.gather(&group.iter().map(|e| e.input).collect::<Vec<_>>());
+            let gathered = ctx.feats.gather(&group.iter().map(|e| e.input).collect::<Vec<_>>());
             let psums = gathered.matmul(&wm);
             for (r, e) in group.iter().enumerate() {
                 out.scatter_add(e.output as usize, &psums, r);
@@ -472,10 +463,8 @@ impl Executor {
     }
 
     fn exec_fp(&self, ctx: &mut Ctx, dims: &[usize]) {
-        let (fine_state, skip_feats) = ctx
-            .skips
-            .pop()
-            .expect("FeaturePropagation requires a matching SetAbstraction skip");
+        let (fine_state, skip_feats) =
+            ctx.skips.pop().expect("FeaturePropagation requires a matching SetAbstraction skip");
         let fine = match &fine_state {
             State::Pts(p) => p.clone(),
             _ => panic!("FeaturePropagation skip must be a point cloud"),
@@ -500,10 +489,8 @@ impl Executor {
                 if self.mode == ExecMode::Full {
                     for (q, ns) in nbrs.iter().enumerate() {
                         let qp = fine.point(q);
-                        let ws: Vec<f32> = ns
-                            .iter()
-                            .map(|&p| 1.0 / (coarse.point(p).dist2(qp) + 1e-8))
-                            .collect();
+                        let ws: Vec<f32> =
+                            ns.iter().map(|&p| 1.0 / (coarse.point(p).dist2(qp) + 1e-8)).collect();
                         let total: f32 = ws.iter().sum();
                         for (j, &p) in ns.iter().enumerate() {
                             let w = ws[j] / total;
@@ -515,11 +502,7 @@ impl Executor {
                         }
                     }
                 }
-                let mapping = vec![MappingOp::Knn {
-                    n_in: coarse.len(),
-                    n_queries: fine.len(),
-                    k,
-                }];
+                let mapping = vec![MappingOp::Knn { n_in: coarse.len(), n_queries: fine.len(), k }];
                 (f, Some(maps), mapping)
             }
             State::Vox(_) => panic!("FeaturePropagation requires a point-based tensor"),
@@ -670,8 +653,7 @@ fn feature_knn(feats: &FeatureMatrix, k: usize) -> Vec<Vec<usize>> {
                 .filter(|&j| j != i)
                 .map(|j| {
                     let fj = feats.row(j);
-                    let dist: f32 =
-                        fi.iter().zip(fj).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let dist: f32 = fi.iter().zip(fj).map(|(a, b)| (a - b) * (a - b)).sum();
                     (dist, j)
                 })
                 .collect();
@@ -692,11 +674,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f32;
-                Point3::new(
-                    (t * 0.37).sin() * 2.0,
-                    (t * 0.61).cos() * 2.0,
-                    (t * 0.13).sin() * 1.0,
-                )
+                Point3::new((t * 0.37).sin() * 2.0, (t * 0.61).cos() * 2.0, (t * 0.13).sin() * 1.0)
             })
             .collect()
     }
@@ -728,27 +706,14 @@ mod tests {
     fn minkunet_trace_has_sparse_layers() {
         let net = zoo::mini_minkunet();
         let out = Executor::new(ExecMode::Full, 3).run(&net, &cloud(400));
-        let sparse = out
-            .trace
-            .layers
-            .iter()
-            .filter(|l| l.compute == ComputeKind::SparseConv)
-            .count();
+        let sparse =
+            out.trace.layers.iter().filter(|l| l.compute == ComputeKind::SparseConv).count();
         assert!(sparse >= 4, "expected sparse conv layers, got {sparse}");
         // Decoder restores the input-resolution cloud.
-        let last_sparse = out
-            .trace
-            .layers
-            .iter()
-            .rev()
-            .find(|l| l.compute == ComputeKind::SparseConv)
-            .unwrap();
-        let first_sparse = out
-            .trace
-            .layers
-            .iter()
-            .find(|l| l.compute == ComputeKind::SparseConv)
-            .unwrap();
+        let last_sparse =
+            out.trace.layers.iter().rev().find(|l| l.compute == ComputeKind::SparseConv).unwrap();
+        let first_sparse =
+            out.trace.layers.iter().find(|l| l.compute == ComputeKind::SparseConv).unwrap();
         assert_eq!(last_sparse.n_out, first_sparse.n_in);
     }
 

@@ -170,9 +170,10 @@ impl LayerTrace {
     /// is to beat this).
     pub fn input_feature_bytes(&self, bytes_per_element: usize) -> u64 {
         let reads = match (&self.compute, &self.maps) {
-            (ComputeKind::SparseConv | ComputeKind::Grouped | ComputeKind::Interpolate, Some(m)) => {
-                m.len() as u64
-            }
+            (
+                ComputeKind::SparseConv | ComputeKind::Grouped | ComputeKind::Interpolate,
+                Some(m),
+            ) => m.len() as u64,
             _ => self.n_in as u64,
         };
         reads * self.in_ch as u64 * bytes_per_element as u64
@@ -223,11 +224,7 @@ impl NetworkTrace {
 
     /// Total maps across all layers.
     pub fn total_maps(&self) -> u64 {
-        self.layers
-            .iter()
-            .filter_map(|l| l.maps.as_ref())
-            .map(|m| m.len() as u64)
-            .sum()
+        self.layers.iter().filter_map(|l| l.maps.as_ref()).map(|m| m.len() as u64).sum()
     }
 
     /// Total scalar mapping-operation work.
@@ -243,9 +240,8 @@ impl NetworkTrace {
             .iter()
             .map(|l| {
                 let rows = l.n_out.max(1) as u64;
-                let per_point = rows * l.out_ch as u64 * bytes_per_element as u64
-                    / self.input_points().max(1) as u64;
-                per_point
+                rows * l.out_ch as u64 * bytes_per_element as u64
+                    / self.input_points().max(1) as u64
             })
             .max()
             .unwrap_or(0)
@@ -264,11 +260,7 @@ mod tests {
 
     fn sparse_layer() -> LayerTrace {
         let maps = MapTable::from_entries(
-            vec![
-                MapEntry::new(0, 0, 0),
-                MapEntry::new(1, 0, 1),
-                MapEntry::new(1, 1, 0),
-            ],
+            vec![MapEntry::new(0, 0, 0), MapEntry::new(1, 0, 1), MapEntry::new(1, 1, 0)],
             2,
         );
         LayerTrace {

@@ -24,7 +24,13 @@ impl WeightGen {
     /// weight-offset `w` for sparse convolutions; pass 0 otherwise).
     /// Entries are uniform in `[-a, a]` with `a = sqrt(3 / in_ch)`
     /// (unit fan-in variance).
-    pub fn matrix(&self, layer_index: usize, w: usize, in_ch: usize, out_ch: usize) -> FeatureMatrix {
+    pub fn matrix(
+        &self,
+        layer_index: usize,
+        w: usize,
+        in_ch: usize,
+        out_ch: usize,
+    ) -> FeatureMatrix {
         let a = (3.0 / in_ch as f32).sqrt();
         let base = self
             .seed

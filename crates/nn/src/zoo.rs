@@ -222,16 +222,9 @@ mod tests {
     fn minkunet_is_balanced() {
         // Every stride-2 down must have a matching transposed up.
         let net = minknet_outdoor();
-        let downs = net
-            .ops()
-            .iter()
-            .filter(|o| matches!(o, Op::SparseConv { stride: 2, .. }))
-            .count();
-        let ups = net
-            .ops()
-            .iter()
-            .filter(|o| matches!(o, Op::SparseConvTr { .. }))
-            .count();
+        let downs =
+            net.ops().iter().filter(|o| matches!(o, Op::SparseConv { stride: 2, .. })).count();
+        let ups = net.ops().iter().filter(|o| matches!(o, Op::SparseConvTr { .. })).count();
         assert_eq!(downs, ups);
     }
 
@@ -245,11 +238,8 @@ mod tests {
                     matches!(o, Op::SetAbstraction { .. } | Op::GlobalSetAbstraction { .. })
                 })
                 .count();
-            let fp = net
-                .ops()
-                .iter()
-                .filter(|o| matches!(o, Op::FeaturePropagation { .. }))
-                .count();
+            let fp =
+                net.ops().iter().filter(|o| matches!(o, Op::FeaturePropagation { .. })).count();
             assert_eq!(sa, fp, "{}", net.name());
         }
     }

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this in-tree shim
+//! provides the slice of the `proptest` API the workspace's property
+//! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, range / tuple / [`collection::vec`] / [`sample::select`]
+//! strategies, [`ProptestConfig::with_cases`], and the `prop_assert*`
+//! macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a deterministic per-test seed (no persisted failure
+//! regressions), and failing cases are **not shrunk** — the failing
+//! values are reported as generated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic test RNG: the in-tree `rand` shim's generator seeded
+/// per (test, case).
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, SeedableRng};
+
+    /// The RNG strategies draw from.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for one `(test, case)` pair.
+        pub fn for_case(test_hash: u64, case: u32) -> Self {
+            let seed = test_hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            TestRng { inner: StdRng::seed_from_u64(seed) }
+        }
+
+        /// Uniform sample from a half-open or inclusive numeric range.
+        pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn next_index(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty index range");
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as the per-test seed base.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Value-generation strategies (subset of `proptest::strategy`).
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3));
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with elements from `element` and length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.next_index(self.len.start, self.len.end.max(self.len.start + 1));
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (subset of `proptest::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy picking one of a fixed list of options.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Strategy drawing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select over empty options");
+            self.options[rng.next_index(0, self.options.len())].clone()
+        }
+    }
+}
+
+/// The macro and trait re-exports tests glob-import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each argument is drawn from its strategy for
+/// every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let hash = $crate::test_runner::hash_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(hash, case);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng); )+
+                    $body
+                }
+            }
+        )+
+    };
+    ( $($rest:tt)+ ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)+
+        }
+    };
+}
+
+/// `assert!` under proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u64..100, 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            p in (0i32..10, 0i32..10).prop_map(|(a, b)| a + b),
+            choice in prop::sample::select(vec![1usize, 2, 4]),
+        ) {
+            prop_assert!((0..19).contains(&p));
+            prop_assert!([1usize, 2, 4].contains(&choice));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case(9, 3);
+        let mut b = crate::test_runner::TestRng::for_case(9, 3);
+        assert_eq!(a.sample(0u64..u64::MAX), b.sample(0u64..u64::MAX));
+    }
+}

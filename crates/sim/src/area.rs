@@ -67,9 +67,15 @@ pub fn hash_table_bytes(n_points: usize) -> usize {
 
 /// Total accelerator area: systolic array + SRAM buffers + MPU datapath,
 /// plus the fixed overhead fraction.
-pub fn accelerator_area_mm2(pe_rows: usize, pe_cols: usize, sram_bytes: usize, merger_width: usize) -> f64 {
+pub fn accelerator_area_mm2(
+    pe_rows: usize,
+    pe_cols: usize,
+    sram_bytes: usize,
+    merger_width: usize,
+) -> f64 {
     let logic = systolic_area_mm2(pe_rows, pe_cols) + mpu_area_mm2(merger_width);
-    let sram = SramSpec::new(sram_bytes, 16).area_mm2() * (sram_bytes as f64 / 16_384.0).max(1.0).ln().max(1.0);
+    let sram = SramSpec::new(sram_bytes, 16).area_mm2()
+        * (sram_bytes as f64 / 16_384.0).max(1.0).ln().max(1.0);
     (logic + sram) * (1.0 + OVERHEAD_FRACTION)
 }
 

@@ -111,6 +111,11 @@ impl PicoJoules {
         PicoJoules(pj)
     }
 
+    /// Converts from joules.
+    pub fn from_joules(j: f64) -> Self {
+        PicoJoules(j * 1e12)
+    }
+
     /// The raw pJ value.
     pub const fn get(self) -> f64 {
         self.0

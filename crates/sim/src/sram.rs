@@ -101,8 +101,7 @@ impl SramCounter {
 
     /// Total access energy.
     pub fn energy(&self) -> PicoJoules {
-        self.spec.read_energy() * self.reads as f64
-            + self.spec.write_energy() * self.writes as f64
+        self.spec.read_energy() * self.reads as f64 + self.spec.write_energy() * self.writes as f64
     }
 
     /// Clears the counters.

@@ -115,8 +115,8 @@ impl SystolicArray {
                     let arow = a.row(r);
                     for j in nt..n_hi {
                         let mut acc = 0.0f32;
-                        for i in kt..k_hi {
-                            acc += arow[i] * b.row(i)[j];
+                        for (i, &av) in arow.iter().enumerate().take(k_hi).skip(kt) {
+                            acc += av * b.row(i)[j];
                         }
                         out.row_mut(r)[j] += acc;
                     }

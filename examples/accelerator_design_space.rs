@@ -1,12 +1,15 @@
 //! Design-space exploration with the accelerator model: sweep systolic
 //! array sizes, DRAM technologies and cache policies on
 //! Mini-MinkowskiUNet, reproducing the style of the paper's ablations.
+//! Every sweep evaluates its candidate configurations concurrently
+//! through the harness.
 //!
 //! ```sh
 //! cargo run --release --example accelerator_design_space
 //! ```
 
-use pointacc::{Accelerator, CachePolicy, PointAccConfig, RunOptions};
+use pointacc::{Accelerator, CachePolicy, Engine, PointAccConfig, RunOptions};
+use pointacc_bench::harness::parallel_map;
 use pointacc_data::Dataset;
 use pointacc_nn::{zoo, ExecMode, Executor};
 use pointacc_sim::DramKind;
@@ -17,12 +20,19 @@ fn main() {
     println!("workload: Mini-MinkowskiUNet, {:.2} GMACs\n", trace.total_macs() as f64 / 1e9);
 
     println!("-- systolic array size (HBM2) --");
-    for pe in [16usize, 32, 64, 128] {
-        let mut cfg = PointAccConfig::full();
-        cfg.pe_rows = pe;
-        cfg.pe_cols = pe;
-        cfg.name = format!("{pe}x{pe}");
-        let r = Accelerator::new(cfg).run(&trace);
+    let pe_sizes = [16usize, 32, 64, 128];
+    let accs: Vec<Accelerator> = pe_sizes
+        .iter()
+        .map(|&pe| {
+            let mut cfg = PointAccConfig::full();
+            cfg.pe_rows = pe;
+            cfg.pe_cols = pe;
+            cfg.name = format!("{pe}x{pe}");
+            Accelerator::new(cfg)
+        })
+        .collect();
+    let reports = parallel_map(&accs, |acc| acc.run(&trace));
+    for (pe, r) in pe_sizes.iter().zip(&reports) {
         println!(
             "  {pe:>3}x{pe:<3} {:>8.3} ms  {:>7.2} mJ  util {:>5.1}%",
             r.latency_ms(),
@@ -32,27 +42,37 @@ fn main() {
     }
 
     println!("\n-- DRAM technology (64x64 PEs) --");
-    for dram in [DramKind::Hbm2, DramKind::Ddr4_2133, DramKind::Lpddr3_1600] {
-        let mut cfg = PointAccConfig::full();
-        cfg.dram = dram;
-        let r = Accelerator::new(cfg).run(&trace);
-        println!("  {:<12} {:>8.3} ms  {:>7.2} mJ", dram.name(), r.latency_ms(), r.energy().to_millijoules());
+    let drams = [DramKind::Hbm2, DramKind::Ddr4_2133, DramKind::Lpddr3_1600];
+    let accs: Vec<Accelerator> = drams
+        .iter()
+        .map(|&dram| {
+            let mut cfg = PointAccConfig::full();
+            cfg.dram = dram;
+            Accelerator::new(cfg)
+        })
+        .collect();
+    let reports = parallel_map(&accs, |acc| acc.evaluate(&trace));
+    for (dram, r) in drams.iter().zip(&reports) {
+        println!(
+            "  {:<12} {:>8.3} ms  {:>7.2} mJ",
+            dram.name(),
+            r.latency_ms(),
+            r.energy.to_millijoules()
+        );
     }
 
     println!("\n-- cache policy (edge config) --");
     let acc = Accelerator::new(PointAccConfig::edge());
-    for (name, policy) in [
+    let policies = [
         ("no cache", CachePolicy::Off),
         ("fixed 8", CachePolicy::Fixed(8)),
         ("fixed 32", CachePolicy::Fixed(32)),
         ("searched", CachePolicy::Search),
-    ] {
-        let r = acc.run_with(&trace, RunOptions { cache: policy, ..Default::default() });
-        println!(
-            "  {:<10} {:>8.3} ms  DRAM {:>8} KB",
-            name,
-            r.latency_ms(),
-            r.dram_bytes() / 1024
-        );
+    ];
+    let reports = parallel_map(&policies, |&(_, policy)| {
+        acc.run_with(&trace, RunOptions { cache: policy, ..Default::default() })
+    });
+    for ((name, _), r) in policies.iter().zip(&reports) {
+        println!("  {:<10} {:>8.3} ms  DRAM {:>8} KB", name, r.latency_ms(), r.dram_bytes() / 1024);
     }
 }

@@ -1,13 +1,15 @@
 //! LiDAR semantic segmentation scenario: a synthetic SemanticKITTI sweep
-//! through MinkowskiUNet, comparing PointAcc against GPU/CPU baselines —
-//! the workload of the paper's headline result.
+//! through MinkowskiUNet, comparing PointAcc against GPU/CPU baselines
+//! through the unified engine surface — the workload of the paper's
+//! headline result. The three engines evaluate concurrently.
 //!
 //! ```sh
 //! cargo run --release --example lidar_segmentation
 //! ```
 
-use pointacc::{Accelerator, PointAccConfig};
+use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
+use pointacc_bench::harness::parallel_map;
 use pointacc_data::Dataset;
 use pointacc_nn::{zoo, ExecMode, Executor};
 
@@ -31,26 +33,36 @@ fn main() {
         trace.total_maps() as f64 / 1e6
     );
 
-    let acc = Accelerator::new(PointAccConfig::full()).run(&trace);
+    // The accelerator replays once, natively (we also want its per-layer
+    // detail below); the platform models evaluate concurrently.
+    let acc = Accelerator::new(PointAccConfig::full());
+    let detail = acc.run(&trace);
+    let gpu = Platform::rtx_2080ti();
+    let cpu = Platform::xeon_6130();
+    let engines: Vec<&dyn Engine> = vec![&gpu, &cpu];
+    let mut reports = vec![detail.to_engine_report()];
+    reports.extend(parallel_map(&engines, |e| e.evaluate(&trace)));
+
+    let ours = &reports[0];
     println!(
-        "\nPointAcc:      {:>8.2} ms  {:>8.1} mJ",
-        acc.latency_ms(),
-        acc.energy().to_millijoules()
+        "\n{:<14} {:>8.2} ms  {:>8.1} mJ",
+        ours.engine,
+        ours.latency_ms(),
+        ours.energy.to_millijoules()
     );
-    for p in [Platform::rtx_2080ti(), Platform::xeon_6130()] {
-        let r = p.run(&trace);
+    for r in &reports[1..] {
         println!(
             "{:<14} {:>8.2} ms  {:>8.1} mJ  ({:.1}x slower, {:.0}x more energy)",
-            r.platform,
-            r.total.to_millis(),
-            r.energy_j * 1e3,
-            r.total.to_millis() / acc.latency_ms(),
-            r.energy_j * 1e3 / acc.energy().to_millijoules()
+            r.engine,
+            r.latency_ms(),
+            r.energy.to_millijoules(),
+            r.latency_ms() / ours.latency_ms(),
+            r.energy.get() / ours.energy.get()
         );
     }
 
-    // Per-level view: the five heaviest layers.
-    let mut heavy: Vec<_> = acc.layers.iter().collect();
+    // Per-level view: the five heaviest layers (accelerator-native report).
+    let mut heavy: Vec<_> = detail.layers.iter().collect();
     heavy.sort_by_key(|l| std::cmp::Reverse(l.latency.get()));
     println!("\nheaviest layers:");
     for l in heavy.iter().take(5) {

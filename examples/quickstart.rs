@@ -1,11 +1,12 @@
 //! Quickstart: run a point cloud network functionally and replay it on
-//! the PointAcc accelerator model.
+//! both PointAcc configurations through the unified engine surface.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use pointacc::{Accelerator, PointAccConfig};
+use pointacc::{Accelerator, Engine, PointAccConfig};
+use pointacc_bench::harness::parallel_map;
 use pointacc_data::Dataset;
 use pointacc_nn::{zoo, ExecMode, Executor};
 
@@ -34,16 +35,18 @@ fn main() {
         .unwrap();
     println!("predicted class (untrained weights, illustrative): {best}");
 
-    // 3. Replay the trace on both PointAcc configurations.
-    for cfg in [PointAccConfig::full(), PointAccConfig::edge()] {
-        let name = cfg.name.clone();
-        let report = Accelerator::new(cfg).run(&out.trace);
-        let (map, mm, dm) = report.latency_breakdown();
+    // 3. Replay the trace on both PointAcc configurations concurrently.
+    let full = Accelerator::new(PointAccConfig::full());
+    let edge = Accelerator::new(PointAccConfig::edge());
+    let engines: Vec<&dyn Engine> = vec![&full, &edge];
+    for report in parallel_map(&engines, |e| e.evaluate(&out.trace)) {
+        let (map, mm, dm) = report.breakdown();
         println!(
-            "{name}: {:.3} ms | {:.2} mJ | DRAM {:.1} KB | breakdown mapping {:.0}% matmul {:.0}% datamove {:.0}%",
+            "{}: {:.3} ms | {:.2} mJ | DRAM {:.1} KB | breakdown mapping {:.0}% matmul {:.0}% datamove {:.0}%",
+            report.engine,
             report.latency_ms(),
-            report.energy().to_millijoules(),
-            report.dram_bytes() as f64 / 1024.0,
+            report.energy.to_millijoules(),
+            report.dram_bytes as f64 / 1024.0,
             map * 100.0,
             mm * 100.0,
             dm * 100.0,

@@ -10,9 +10,16 @@
 //! - [`pointacc_nn`] — network definitions, reference executor, stats.
 //! - [`pointacc_sim`] — DRAM / SRAM / energy / systolic / sorter substrates.
 //! - [`pointacc_baselines`] — CPU/GPU/TPU/edge/Mesorasi comparison models.
+//! - [`pointacc_bench`] — the parallel `Engine` run harness and the
+//!   paper-figure benchmark binaries.
+//!
+//! Every hardware model implements [`pointacc::Engine`], so whole
+//! evaluations are (engine × benchmark × seed) grids driven by
+//! [`pointacc_bench::harness`].
 
 pub use pointacc;
 pub use pointacc_baselines;
+pub use pointacc_bench;
 pub use pointacc_data;
 pub use pointacc_geom;
 pub use pointacc_nn;

@@ -69,8 +69,7 @@ fn pointacc_beats_every_platform_on_every_benchmark() {
         }
         gpu_ratios.push(Platform::rtx_2080ti().run(&trace).total.to_millis() / ours);
     }
-    let geomean =
-        (gpu_ratios.iter().map(|r| r.ln()).sum::<f64>() / gpu_ratios.len() as f64).exp();
+    let geomean = (gpu_ratios.iter().map(|r| r.ln()).sum::<f64>() / gpu_ratios.len() as f64).exp();
     assert!(geomean > 1.5, "GPU geomean speedup {geomean} should favor PointAcc");
 }
 
@@ -89,7 +88,8 @@ fn ablations_point_the_right_way() {
     let trace = small_trace("MinkNet(i)");
     let acc = Accelerator::new(PointAccConfig::full());
     let base = acc.run(&trace);
-    let no_cache = acc.run_with(&trace, RunOptions { cache: CachePolicy::Off, ..Default::default() });
+    let no_cache =
+        acc.run_with(&trace, RunOptions { cache: CachePolicy::Off, ..Default::default() });
     let gms = acc.run_with(&trace, RunOptions { gather_scatter_flow: true, ..Default::default() });
     assert!(no_cache.dram_bytes() > base.dram_bytes(), "cache must cut DRAM traffic");
     assert!(gms.dram_bytes() > no_cache.dram_bytes(), "G-M-S must cost the most DRAM");

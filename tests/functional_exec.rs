@@ -10,11 +10,9 @@ use pointacc_sim::SystolicArray;
 #[test]
 fn classification_networks_emit_class_logits() {
     let pts = Dataset::ModelNet40.generate(1, 256);
-    for (net, classes) in [
-        (zoo::pointnet(), 40),
-        (zoo::pointnet_pp_classification(), 40),
-        (zoo::dgcnn(), 40),
-    ] {
+    for (net, classes) in
+        [(zoo::pointnet(), 40), (zoo::pointnet_pp_classification(), 40), (zoo::dgcnn(), 40)]
+    {
         let out = Executor::new(ExecMode::Full, 5).run(&net, &pts);
         assert_eq!(out.features.rows(), 1, "{}", net.name());
         assert_eq!(out.features.cols(), classes, "{}", net.name());
@@ -46,7 +44,8 @@ fn voxel_network_preserves_resolution_through_unet() {
 #[test]
 fn systolic_functional_model_matches_reference_matmul() {
     // Shapes taken from a real SA layer of PointNet++(c).
-    let a = FeatureMatrix::from_fn(512 * 32, 67, |r, c| ((r * 31 + c * 17) % 101) as f32 * 0.01 - 0.5);
+    let a =
+        FeatureMatrix::from_fn(512 * 32, 67, |r, c| ((r * 31 + c * 17) % 101) as f32 * 0.01 - 0.5);
     let b = FeatureMatrix::from_fn(67, 64, |r, c| ((r * 13 + c * 7) % 89) as f32 * 0.01 - 0.4);
     for (rows, cols) in [(16, 16), (64, 64)] {
         let arr = SystolicArray::new(rows, cols);

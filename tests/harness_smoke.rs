@@ -1,0 +1,137 @@
+//! Smoke test for the unified engine harness: every hardware model —
+//! both PointAcc configurations, all six general-purpose platforms,
+//! Mesorasi-HW and both Mesorasi-SW variants — produces finite, nonzero
+//! latency and energy on every Table 2 benchmark it supports, evaluated
+//! as one thread-parallel grid.
+
+use pointacc::{Accelerator, Engine, PointAccConfig, Seconds};
+use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
+use pointacc_bench::harness::Grid;
+use pointacc_nn::zoo;
+use pointacc_sim::PicoJoules;
+
+fn scale_down() {
+    // Keep the full 11-engine × 8-benchmark grid cheap in debug CI runs.
+    std::env::set_var("POINTACC_SCALE", "0.1");
+}
+
+#[test]
+fn every_engine_is_physical_on_every_benchmark() {
+    scale_down();
+    let full = Accelerator::new(PointAccConfig::full());
+    let edge = Accelerator::new(PointAccConfig::edge());
+    let platforms = [
+        Platform::rtx_2080ti(),
+        Platform::xeon_6130(),
+        Platform::xeon_tpu_v3(),
+        Platform::jetson_xavier_nx(),
+        Platform::jetson_nano(),
+        Platform::raspberry_pi_4b(),
+    ];
+    let mesorasi = Mesorasi::new();
+    let sw_nano = MesorasiSw::on(Platform::jetson_nano());
+    let sw_rpi = MesorasiSw::on(Platform::raspberry_pi_4b());
+
+    let mut engines: Vec<&dyn Engine> = vec![&full, &edge];
+    engines.extend(platforms.iter().map(|p| p as &dyn Engine));
+    engines.extend([&mesorasi as &dyn Engine, &sw_nano, &sw_rpi]);
+    let n_engines = engines.len();
+
+    let run = Grid::new().engines(engines).run();
+    assert_eq!(run.benchmarks.len(), zoo::benchmarks().len());
+
+    let mut evaluated = 0;
+    let mut skipped = 0;
+    for e in 0..n_engines {
+        for b in 0..run.benchmarks.len() {
+            let label = format!("{} on {}", run.engines[e], run.benchmarks[b].notation);
+            match run.report(e, b, 0) {
+                Some(r) => {
+                    evaluated += 1;
+                    assert!(r.is_physical(), "{label}: non-physical report {r:?}");
+                    assert!(r.latency_ms() > 0.0 && r.latency_ms().is_finite(), "{label}");
+                    assert!(r.energy.to_millijoules() > 0.0, "{label}");
+                    assert_eq!(r.engine, run.engines[e], "{label}");
+                }
+                None => {
+                    skipped += 1;
+                    // Only the Mesorasi family may skip benchmarks, and
+                    // only the SparseConv-based MinkNets.
+                    assert!(
+                        run.engines[e].starts_with("Mesorasi"),
+                        "{label} unexpectedly unsupported"
+                    );
+                    assert!(run.benchmarks[b].notation.starts_with("MinkNet"), "{label}");
+                }
+            }
+        }
+    }
+    // 11 engines × 8 benchmarks, minus 3 Mesorasi variants × 2 MinkNets.
+    assert_eq!(evaluated, n_engines * 8 - 6);
+    assert_eq!(skipped, 6);
+}
+
+#[test]
+fn accelerator_stays_fastest_in_the_unified_grid() {
+    scale_down();
+    let full = Accelerator::new(PointAccConfig::full());
+    let cpu = Platform::xeon_6130();
+    let tpu = Platform::xeon_tpu_v3();
+    let run = Grid::new().engines([&full as &dyn Engine, &cpu, &tpu]).run();
+    for b in 0..run.benchmarks.len() {
+        for rival in 1..=2 {
+            let speedup = run.speedup(0, rival, b, 0).expect("all supported");
+            assert!(
+                speedup > 1.0,
+                "{} should lose to PointAcc on {} (speedup {speedup})",
+                run.engines[rival],
+                run.benchmarks[b].notation
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_seed_grids_index_correctly() {
+    scale_down();
+    let edge = Accelerator::new(PointAccConfig::edge());
+    let benchmarks: Vec<_> = zoo::benchmarks()
+        .into_iter()
+        .filter(|b| b.notation == "PointNet++(c)" || b.notation == "MinkNet(i)")
+        .collect();
+    let run = Grid::new().engine(&edge).benchmarks(benchmarks).seeds([1, 2, 3]).run();
+    for b in 0..2 {
+        for s in 0..3 {
+            let r = run.report(0, b, s).expect("accelerator runs everything");
+            assert!(r.is_physical());
+            assert_eq!(r.network, run.trace(b, s).network);
+        }
+        // Sparse-conv workloads (kernel maps) depend on voxel occupancy,
+        // so different seeds must produce different map counts. Dense and
+        // padded-neighborhood networks have structurally fixed sizes.
+        if run.benchmarks[b].notation == "MinkNet(i)" {
+            assert_ne!(
+                run.trace(b, 0).total_maps(),
+                run.trace(b, 1).total_maps(),
+                "seeds should vary the sparse workload"
+            );
+        }
+    }
+}
+
+#[test]
+fn unit_conversions_at_the_unified_report_boundary() {
+    // Seconds → milliseconds.
+    assert_eq!(Seconds(1.0).to_millis(), 1000.0);
+    assert_eq!(Seconds(0.0125).to_millis(), 12.5);
+    // PicoJoules → millijoules / joules round trips.
+    assert!((PicoJoules::new(1e9).to_millijoules() - 1.0).abs() < 1e-12);
+    assert!((PicoJoules::from_joules(2.0).to_joules() - 2.0).abs() < 1e-12);
+    // A platform report carries joule-scale energy through PicoJoules
+    // without precision loss at the boundary.
+    scale_down();
+    let trace = pointacc_bench::benchmark_trace(&zoo::benchmarks()[0], 42);
+    let r = Platform::jetson_nano().evaluate(&trace);
+    assert!((r.energy.to_joules() - r.total.0 * 10.0).abs() < 1e-9);
+    assert!((r.total.to_millis() - r.latency_ms()).abs() < 1e-12);
+}

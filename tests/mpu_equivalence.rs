@@ -13,13 +13,9 @@ fn arb_points(max_n: usize) -> impl Strategy<Value = PointSet> {
 }
 
 fn arb_cloud(max_n: usize) -> impl Strategy<Value = VoxelCloud> {
-    prop::collection::vec((-20i32..20, -20i32..20, -20i32..20), 1..max_n)
-        .prop_map(|v| {
-            VoxelCloud::from_unsorted(
-                v.into_iter().map(|(x, y, z)| Coord::new(x, y, z)).collect(),
-                1,
-            )
-        })
+    prop::collection::vec((-20i32..20, -20i32..20, -20i32..20), 1..max_n).prop_map(|v| {
+        VoxelCloud::from_unsorted(v.into_iter().map(|(x, y, z)| Coord::new(x, y, z)).collect(), 1)
+    })
 }
 
 proptest! {

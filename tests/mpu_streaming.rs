@@ -9,10 +9,7 @@ use proptest::prelude::*;
 fn arb_sorted(max_n: usize) -> impl Strategy<Value = Vec<SortItem>> {
     prop::collection::vec(0u64..10_000, 0..max_n).prop_map(|mut v| {
         v.sort_unstable();
-        v.into_iter()
-            .enumerate()
-            .map(|(i, k)| SortItem::new(k as u128, i as u64))
-            .collect()
+        v.into_iter().enumerate().map(|(i, k)| SortItem::new(k as u128, i as u64)).collect()
     })
 }
 
