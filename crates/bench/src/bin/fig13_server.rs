@@ -1,13 +1,15 @@
 //! Fig. 13: PointAcc speedup and energy savings over server platforms
 //! (RTX 2080Ti, Xeon + TPUv3, Xeon Gold 6130) on the 8 benchmarks.
 //!
-//! The 4 engines × 8 benchmarks evaluate concurrently through the
-//! parallel harness grid (engine 0 is PointAcc, the speedup base).
+//! The 4 engines × 8 benchmarks × 3 seeds evaluate concurrently through
+//! the parallel harness grid (engine 0 is PointAcc, the speedup base);
+//! every number is reported as mean ± 95 % CI over the seed axis rather
+//! than a single arbitrary seed.
 
 use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
 use pointacc_bench::harness::Grid;
-use pointacc_bench::{paper, print_table};
+use pointacc_bench::{paper, print_table, SEEDS};
 
 fn main() {
     let acc = Accelerator::new(PointAccConfig::full());
@@ -15,28 +17,31 @@ fn main() {
     let paper_speedups =
         [paper::FIG13_SPEEDUP_GPU, paper::FIG13_SPEEDUP_TPU, paper::FIG13_SPEEDUP_CPU];
 
-    let run = Grid::new().engine(&acc).engines(platforms.iter().map(|p| p as &dyn Engine)).run();
+    let run = Grid::new()
+        .engine(&acc)
+        .engines(platforms.iter().map(|p| p as &dyn Engine))
+        .seeds(SEEDS)
+        .run();
 
     let mut rows = Vec::new();
     for (bi, b) in run.benchmarks.iter().enumerate() {
-        let ours = run.report(0, bi, 0).expect("PointAcc runs everything");
-        let mut row = vec![b.notation.to_string(), format!("{:.2}", ours.latency_ms())];
+        let ours = run.latency_summary(0, bi).expect("PointAcc runs everything");
+        let mut row = vec![b.notation.to_string(), format!("{ours:.2}")];
         for (pi, speedups) in paper_speedups.iter().enumerate() {
-            let speed = run.speedup(0, 1 + pi, bi, 0).expect("platforms run everything");
-            row.push(format!("{:.1}x (paper {:.1}x)", speed, speedups[bi]));
+            let speed = run.speedup_summary(0, 1 + pi, bi).expect("platforms run everything");
+            row.push(format!("{speed:.1}x (paper {:.1}x)", speedups[bi]));
         }
         rows.push(row);
     }
-    println!("== Fig. 13: Speedup over server platforms ==\n");
+    println!("== Fig. 13: Speedup over server platforms (mean±95% CI, {} seeds) ==\n", SEEDS.len());
     print_table(
         &["Network", "PointAcc(ms)", "vs RTX 2080Ti", "vs Xeon+TPUv3", "vs Xeon 6130"],
         &rows,
     );
+    let [gpu, tpu, cpu] =
+        [1, 2, 3].map(|r| run.geomean_speedup_summary(0, r).expect("all supported"));
     println!(
-        "\nGeoMean speedup: GPU {:.1}x (paper 3.7x) | TPU {:.1}x (paper 53x) | CPU {:.1}x (paper 90x)",
-        run.geomean_speedup(0, 1),
-        run.geomean_speedup(0, 2),
-        run.geomean_speedup(0, 3)
+        "\nGeoMean speedup: GPU {gpu:.1}x (paper 3.7x) | TPU {tpu:.1}x (paper 53x) | CPU {cpu:.1}x (paper 90x)"
     );
     println!(
         "GeoMean energy savings: GPU {:.0}x (paper 22x) | TPU {:.0}x (paper 210x) | CPU {:.0}x (paper 176x)",

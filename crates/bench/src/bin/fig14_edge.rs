@@ -1,13 +1,14 @@
 //! Fig. 14: PointAcc.Edge speedup and energy savings over edge devices
 //! (Jetson Xavier NX, Jetson Nano, Raspberry Pi 4B).
 //!
-//! The 4 engines × 8 benchmarks evaluate concurrently through the
-//! parallel harness grid (engine 0 is PointAcc.Edge, the speedup base).
+//! The 4 engines × 8 benchmarks × 3 seeds evaluate concurrently through
+//! the parallel harness grid (engine 0 is PointAcc.Edge, the speedup
+//! base); every number is reported as mean ± 95 % CI over the seed axis.
 
 use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
 use pointacc_bench::harness::Grid;
-use pointacc_bench::{paper, print_table};
+use pointacc_bench::{paper, print_table, SEEDS};
 
 fn main() {
     let acc = Accelerator::new(PointAccConfig::edge());
@@ -16,25 +17,31 @@ fn main() {
     let paper_speedups =
         [paper::FIG14_SPEEDUP_NX, paper::FIG14_SPEEDUP_NANO, paper::FIG14_SPEEDUP_RPI];
 
-    let run = Grid::new().engine(&acc).engines(platforms.iter().map(|p| p as &dyn Engine)).run();
+    let run = Grid::new()
+        .engine(&acc)
+        .engines(platforms.iter().map(|p| p as &dyn Engine))
+        .seeds(SEEDS)
+        .run();
 
     let mut rows = Vec::new();
     for (bi, b) in run.benchmarks.iter().enumerate() {
-        let ours = run.report(0, bi, 0).expect("PointAcc.Edge runs everything");
-        let mut row = vec![b.notation.to_string(), format!("{:.2}", ours.latency_ms())];
+        let ours = run.latency_summary(0, bi).expect("PointAcc.Edge runs everything");
+        let mut row = vec![b.notation.to_string(), format!("{ours:.2}")];
         for (pi, speedups) in paper_speedups.iter().enumerate() {
-            let speed = run.speedup(0, 1 + pi, bi, 0).expect("platforms run everything");
-            row.push(format!("{:.1}x (paper {:.1}x)", speed, speedups[bi]));
+            let speed = run.speedup_summary(0, 1 + pi, bi).expect("platforms run everything");
+            row.push(format!("{speed:.1}x (paper {:.1}x)", speedups[bi]));
         }
         rows.push(row);
     }
-    println!("== Fig. 14: Speedup over edge devices (PointAcc.Edge) ==\n");
-    print_table(&["Network", "Edge(ms)", "vs Jetson NX", "vs Jetson Nano", "vs RPi 4B"], &rows);
     println!(
-        "\nGeoMean speedup: NX {:.1}x (paper 2.5x) | Nano {:.1}x (paper 9.8x) | RPi {:.0}x (paper 141x)",
-        run.geomean_speedup(0, 1),
-        run.geomean_speedup(0, 2),
-        run.geomean_speedup(0, 3)
+        "== Fig. 14: Speedup over edge devices (PointAcc.Edge, mean±95% CI, {} seeds) ==\n",
+        SEEDS.len()
+    );
+    print_table(&["Network", "Edge(ms)", "vs Jetson NX", "vs Jetson Nano", "vs RPi 4B"], &rows);
+    let [nx, nano, rpi] =
+        [1, 2, 3].map(|r| run.geomean_speedup_summary(0, r).expect("all supported"));
+    println!(
+        "\nGeoMean speedup: NX {nx:.1}x (paper 2.5x) | Nano {nano:.1}x (paper 9.8x) | RPi {rpi:.0}x (paper 141x)"
     );
     println!(
         "GeoMean energy savings: NX {:.1}x (paper 7.8x) | Nano {:.1}x (paper 16x) | RPi {:.0}x (paper 127x)",

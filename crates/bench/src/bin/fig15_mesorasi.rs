@@ -1,11 +1,12 @@
 //! Fig. 15: PointAcc.Edge vs Mesorasi (HW and SW variants) on the
 //! PointNet++-based benchmarks, evaluated as one concurrent harness grid
-//! (engine 0 is PointAcc.Edge, the speedup base).
+//! (engine 0 is PointAcc.Edge, the speedup base); every number is
+//! reported as mean ± 95 % CI over the seed axis.
 
 use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
 use pointacc_bench::harness::Grid;
-use pointacc_bench::{paper, print_table};
+use pointacc_bench::{paper, print_table, SEEDS};
 use pointacc_nn::zoo;
 
 fn main() {
@@ -19,6 +20,7 @@ fn main() {
         .benchmarks(
             zoo::benchmarks().into_iter().filter(|b| paper::FIG15_NETWORKS.contains(&b.notation)),
         )
+        .seeds(SEEDS)
         .run();
 
     let mut rows = Vec::new();
@@ -27,22 +29,24 @@ fn main() {
             .iter()
             .position(|n| *n == b.notation)
             .expect("grid holds only Fig. 15 networks");
-        let hw = run.speedup(0, 1, bi, 0).expect("PointNet++-based nets run on Mesorasi");
-        let nano = run.speedup(0, 2, bi, 0).expect("supported");
-        let rpi = run.speedup(0, 3, bi, 0).expect("supported");
+        let hw = run.speedup_summary(0, 1, bi).expect("PointNet++-based nets run on Mesorasi");
+        let nano = run.speedup_summary(0, 2, bi).expect("supported");
+        let rpi = run.speedup_summary(0, 3, bi).expect("supported");
         rows.push(vec![
             b.notation.to_string(),
-            format!("{:.1}x (paper {:.1}x)", hw, paper::FIG15_SPEEDUP_HW[pi]),
-            format!("{:.1}x (paper {:.0}x)", nano, paper::FIG15_SPEEDUP_SW_NANO[pi]),
-            format!("{:.0}x (paper {:.0}x)", rpi, paper::FIG15_SPEEDUP_SW_RPI[pi]),
+            format!("{hw:.1}x (paper {:.1}x)", paper::FIG15_SPEEDUP_HW[pi]),
+            format!("{nano:.1}x (paper {:.0}x)", paper::FIG15_SPEEDUP_SW_NANO[pi]),
+            format!("{rpi:.0}x (paper {:.0}x)", paper::FIG15_SPEEDUP_SW_RPI[pi]),
         ]);
     }
-    println!("== Fig. 15: PointAcc.Edge speedup over Mesorasi ==\n");
-    print_table(&["Network", "vs Mesorasi-HW", "vs SW(Nano)", "vs SW(RPi4)"], &rows);
     println!(
-        "\nGeoMean: HW {:.1}x (paper 4.3x) | SW-Nano {:.1}x (paper 14x) | SW-RPi {:.0}x (paper 128x)",
-        run.geomean_speedup(0, 1),
-        run.geomean_speedup(0, 2),
-        run.geomean_speedup(0, 3)
+        "== Fig. 15: PointAcc.Edge speedup over Mesorasi (mean±95% CI, {} seeds) ==\n",
+        SEEDS.len()
+    );
+    print_table(&["Network", "vs Mesorasi-HW", "vs SW(Nano)", "vs SW(RPi4)"], &rows);
+    let [hw, nano, rpi] =
+        [1, 2, 3].map(|r| run.geomean_speedup_summary(0, r).expect("all supported"));
+    println!(
+        "\nGeoMean: HW {hw:.1}x (paper 4.3x) | SW-Nano {nano:.1}x (paper 14x) | SW-RPi {rpi:.0}x (paper 128x)"
     );
 }

@@ -1,0 +1,73 @@
+//! Serving-harness demo: drains a batched request stream (all eight
+//! Table 2 benchmarks × several seeds × repeated rounds — repeats are
+//! where the trace cache earns its keep) through a bounded queue fanned
+//! out over three engine shards, then prints the throughput, queue
+//! latency and cache statistics a capacity planner needs.
+//!
+//! Scale the workload with `POINTACC_SCALE` (e.g. 0.02 for CI smoke).
+
+use pointacc::{Accelerator, Engine, PointAccConfig};
+use pointacc_baselines::Platform;
+use pointacc_bench::serve::{serve, Request, ServeOptions};
+use pointacc_nn::zoo;
+
+fn main() {
+    let full = Accelerator::new(PointAccConfig::full());
+    let edge = Accelerator::new(PointAccConfig::edge());
+    let gpu = Platform::rtx_2080ti();
+    let engines: Vec<&dyn Engine> = vec![&full, &edge, &gpu];
+    let benchmarks = zoo::benchmarks();
+
+    // 5 rounds × 8 benchmarks × 3 seeds = 120 requests over 24 unique
+    // traces: rounds 2..5 are pure cache hits.
+    let seeds = [42u64, 43, 44];
+    let rounds = 5;
+    let requests: Vec<Request> = (0..rounds)
+        .flat_map(|_| {
+            (0..benchmarks.len())
+                .flat_map(|b| seeds.map(|seed| Request { benchmark: b, seed }))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let n_requests = requests.len();
+
+    let options =
+        ServeOptions { queue_capacity: 16, workers_per_engine: 2, scale: pointacc_bench::scale() };
+    println!(
+        "== Serving demo: {n_requests} requests over {} engine shards (queue cap {}, {} workers, scale {}) ==\n",
+        engines.len(),
+        options.queue_capacity,
+        engines.len() * options.workers_per_engine,
+        options.scale,
+    );
+    let report = serve(&engines, &benchmarks, requests, options);
+
+    println!(
+        "drained     {} requests ({} unsupported) in {:.3} s",
+        report.completed + report.unsupported,
+        report.unsupported,
+        report.wall.as_secs_f64()
+    );
+    println!(
+        "throughput  {:.1} requests/s | {:.3} Mpoints/s",
+        report.requests_per_s(),
+        report.points_per_s() / 1e6
+    );
+    println!(
+        "queue wait  p50 {:.3} ms | p99 {:.3} ms",
+        report.queue_p50.as_secs_f64() * 1e3,
+        report.queue_p99.as_secs_f64() * 1e3
+    );
+    println!(
+        "trace cache {} hits / {} misses ({:.0}% hit rate)",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0
+    );
+    println!("\nPer-shard completions:");
+    for (name, n) in &report.per_engine {
+        println!("  {name:<16} {n}");
+    }
+    assert!(report.completed >= 100, "demo must drain at least 100 requests");
+    assert!(report.cache.hit_rate() > 0.0, "repeated rounds must hit the cache");
+}

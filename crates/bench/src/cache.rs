@@ -1,0 +1,239 @@
+//! Process-wide trace cache: compile each `(benchmark, seed, scale)`
+//! trace once, share it across every harness grid and figure binary.
+//!
+//! Trace compilation (the functional executor replaying the network on
+//! the synthetic dataset) dominates harness cost for the MinkowskiNet
+//! benchmarks, and every figure binary re-derives the same traces. The
+//! [`TraceCache`] amortizes that: lookups are keyed by
+//! [`TraceKey`]`(network, seed, scale)`, concurrent requests for the
+//! same key block on one in-flight build (each trace compiles exactly
+//! once), and hits return a shared [`Arc`] without copying layer data.
+//!
+//! [`global`] is the cache the [`Grid`](crate::harness::Grid) uses;
+//! independent subsystems can own a private [`TraceCache`] when they
+//! need isolated hit-rate accounting — [`serve`](crate::serve::serve)
+//! does exactly that, so its reported hit rate reflects one request
+//! stream and is **not** warmed by earlier grid runs.
+//!
+//! The cache never evicts on its own: every compiled trace is retained
+//! for the life of the process (or cache). Long-lived drivers sweeping
+//! many seeds/scales should call [`TraceCache::clear`] between sweeps.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pointacc_nn::{NetworkTrace, TraceKey};
+
+/// Hit/miss counters of one cache (a consistent snapshot).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an already-compiled trace.
+    pub hits: u64,
+    /// Lookups that had to compile (or wait on a concurrent compile of)
+    /// a new trace.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache; 0 when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache slot: a once-cell so concurrent misses on the same key
+/// serialize behind a single build.
+type Slot = Arc<OnceLock<Arc<NetworkTrace>>>;
+
+/// A concurrent, compile-once cache of network traces keyed by
+/// [`TraceKey`].
+#[derive(Default)]
+pub struct TraceCache {
+    slots: Mutex<HashMap<TraceKey, Slot>>,
+    stats: Mutex<CacheStats>,
+    compiles: Mutex<HashMap<TraceKey, u64>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// Returns the trace of `key`, building it with `build` on the first
+    /// request. Concurrent requests for the same key run `build` exactly
+    /// once; the rest block until it finishes and share the result.
+    pub fn get_or_build(
+        &self,
+        key: &TraceKey,
+        build: impl FnOnce() -> NetworkTrace,
+    ) -> Arc<NetworkTrace> {
+        let (slot, fresh_slot) = {
+            let mut slots = self.slots.lock().expect("trace cache poisoned");
+            match slots.get(key) {
+                Some(slot) => (slot.clone(), false),
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    slots.insert(key.clone(), slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+        // A slot that exists but is still initializing counts as a miss
+        // for the thread that inserted it and a hit for everyone who
+        // found it present — "present" means the compile is already paid
+        // for, which is what hit rate should measure.
+        {
+            let mut stats = self.stats.lock().expect("trace cache poisoned");
+            if fresh_slot {
+                stats.misses += 1;
+            } else {
+                stats.hits += 1;
+            }
+        }
+        slot.get_or_init(|| {
+            let trace = Arc::new(build());
+            *self.compiles.lock().expect("trace cache poisoned").entry(key.clone()).or_insert(0) +=
+                1;
+            trace
+        })
+        .clone()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("trace cache poisoned")
+    }
+
+    /// How many times `key`'s trace was compiled (the cache invariant is
+    /// ≤ 1 for every key over the cache's lifetime).
+    pub fn compile_count(&self, key: &TraceKey) -> u64 {
+        self.compiles.lock().expect("trace cache poisoned").get(key).copied().unwrap_or(0)
+    }
+
+    /// Evicts every cached trace, releasing the memory (traces still
+    /// borrowed by live grids stay alive through their `Arc`s until
+    /// those drop). Hit/miss counters and per-key compile counts are
+    /// kept: `clear` trades memory for recompilation, it does not
+    /// rewrite history — after a clear, a re-requested key compiles
+    /// again and its [`TraceCache::compile_count`] exceeds 1.
+    ///
+    /// Long-lived drivers sweeping many seeds or scales should call
+    /// this between sweeps; the cache itself never evicts.
+    pub fn clear(&self) {
+        self.slots.lock().expect("trace cache poisoned").clear();
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether the cache holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide cache shared by [`Grid`](crate::harness::Grid) runs
+/// and figure binaries.
+pub fn global() -> &'static TraceCache {
+    static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+    GLOBAL.get_or_init(TraceCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tiny_trace(name: &str) -> NetworkTrace {
+        NetworkTrace { network: name.into(), input_desc: "test".into(), layers: vec![] }
+    }
+
+    #[test]
+    fn second_lookup_hits_without_rebuilding() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("net", 1, 0.5);
+        let builds = AtomicU64::new(0);
+        let a = cache.get_or_build(&key, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("net")
+        });
+        let b = cache.get_or_build(&key, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("other")
+        });
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the compiled trace");
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.compile_count(&key), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TraceCache::new();
+        let a = cache.get_or_build(&TraceKey::new("net", 1, 0.5), || tiny_trace("a"));
+        let b = cache.get_or_build(&TraceKey::new("net", 2, 0.5), || tiny_trace("b"));
+        let c = cache.get_or_build(&TraceKey::new("net", 1, 0.25), || tiny_trace("c"));
+        assert_eq!((a.network.as_str(), b.network.as_str(), c.network.as_str()), ("a", "b", "c"));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn concurrent_misses_compile_exactly_once() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("contended", 7, 1.0);
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_build(&key, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so laggards really do
+                        // observe an in-flight build.
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        tiny_trace("contended")
+                    })
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one compile under contention");
+        assert_eq!(cache.compile_count(&key), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn clear_releases_entries_but_keeps_history() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("net", 1, 0.5);
+        let first = cache.get_or_build(&key, || tiny_trace("net"));
+        cache.clear();
+        assert!(cache.is_empty());
+        // The evicted trace stays alive through its Arc.
+        assert_eq!(first.network, "net");
+        // A re-request compiles again — visible in the compile count.
+        let second = cache.get_or_build(&key, || tiny_trace("net"));
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.compile_count(&key), 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = TraceCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert_eq!(cache.compile_count(&TraceKey::new("none", 0, 1.0)), 0);
+    }
+}

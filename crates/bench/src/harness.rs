@@ -16,13 +16,13 @@
 //! use pointacc_baselines::Platform;
 //! use pointacc_bench::harness::Grid;
 //!
-//! std::env::set_var("POINTACC_SCALE", "0.05");
 //! let acc = Accelerator::new(PointAccConfig::full());
 //! let gpu = Platform::rtx_2080ti();
 //! let run = Grid::new()
 //!     .engine(&acc)
 //!     .engine(&gpu)
 //!     .benchmarks(pointacc_nn::zoo::benchmarks().into_iter().take(2))
+//!     .scale(0.05)
 //!     .run();
 //! let ours = run.report(0, 0, 0).expect("supported");
 //! assert!(ours.is_physical());
@@ -30,22 +30,31 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 
-use pointacc::{Engine, EngineReport};
+use pointacc::{Engine, EngineReport, Summary};
 use pointacc_nn::zoo::{self, Benchmark};
 use pointacc_nn::NetworkTrace;
 
-use crate::{benchmark_trace, geomean};
+use crate::{cached_benchmark_trace, geomean};
 
 /// Worker-thread count: `POINTACC_THREADS` when set, otherwise one per
 /// available core.
+///
+/// The environment is read **once** per process; later mutations are
+/// ignored. Callers that need a specific worker count (tests, tuned
+/// drivers) should use [`parallel_map_with`] instead of mutating the
+/// process environment.
 pub fn worker_threads() -> usize {
-    std::env::var("POINTACC_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| thread::available_parallelism().map_or(4, |n| n.get()))
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("POINTACC_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(4, |n| n.get()))
+    })
 }
 
 /// Runs `f` over `items` on all available cores (override with
@@ -61,10 +70,20 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    if items.len() <= 1 {
+    parallel_map_with(worker_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count.
+pub fn parallel_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 || workers <= 1 {
         return items.iter().map(&f).collect();
     }
-    let workers = worker_threads().min(items.len());
+    let workers = workers.min(items.len());
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, U)>();
     let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
@@ -88,9 +107,12 @@ where
     slots.into_iter().map(|v| v.expect("every index produced")).collect()
 }
 
-/// Builds the traces of several benchmarks concurrently, in order.
-pub fn parallel_traces(benchmarks: &[Benchmark], seed: u64) -> Vec<NetworkTrace> {
-    parallel_map(benchmarks, |b| benchmark_trace(b, seed))
+/// Builds (or fetches from the process-wide trace cache) the traces of
+/// several benchmarks concurrently, in order, at the process-wide
+/// [`scale`](crate::scale).
+pub fn parallel_traces(benchmarks: &[Benchmark], seed: u64) -> Vec<Arc<NetworkTrace>> {
+    let scale = crate::scale();
+    parallel_map(benchmarks, |b| cached_benchmark_trace(b, seed, scale))
 }
 
 /// Builder for one (engine × benchmark × seed) evaluation grid.
@@ -99,6 +121,7 @@ pub struct Grid<'a> {
     engines: Vec<&'a dyn Engine>,
     benchmarks: Option<Vec<Benchmark>>,
     seeds: Option<Vec<u64>>,
+    scale: Option<f64>,
 }
 
 impl<'a> Grid<'a> {
@@ -106,7 +129,7 @@ impl<'a> Grid<'a> {
     ///
     /// [`run`]: Grid::run
     pub fn new() -> Self {
-        Grid { engines: Vec::new(), benchmarks: None, seeds: None }
+        Grid { engines: Vec::new(), benchmarks: None, seeds: None, scale: None }
     }
 
     /// Adds one engine (row of the grid).
@@ -137,6 +160,16 @@ impl<'a> Grid<'a> {
         self
     }
 
+    /// Sets the point-count scale factor explicitly (default: the
+    /// process-wide [`scale`](crate::scale) read once from
+    /// `POINTACC_SCALE`). Tests should use this instead of mutating the
+    /// environment, which is racy under the parallel test runner.
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
     /// Evaluates the full grid concurrently.
     ///
     /// Defaults when never set: all eight Table 2 benchmarks, seed 42.
@@ -155,13 +188,15 @@ impl<'a> Grid<'a> {
         assert!(!benchmarks.is_empty(), "grid benchmark filter matched nothing");
         let seeds = self.seeds.unwrap_or_else(|| vec![42]);
         assert!(!seeds.is_empty(), "grid seed list is empty");
+        let scale = self.scale.unwrap_or_else(crate::scale);
 
         let jobs: Vec<(usize, u64)> = benchmarks
             .iter()
             .enumerate()
             .flat_map(|(b, _)| seeds.iter().map(move |&s| (b, s)))
             .collect();
-        let traces = parallel_map(&jobs, |&(b, seed)| benchmark_trace(&benchmarks[b], seed));
+        let traces =
+            parallel_map(&jobs, |&(b, seed)| cached_benchmark_trace(&benchmarks[b], seed, scale));
 
         let cells: Vec<(usize, usize)> =
             (0..self.engines.len()).flat_map(|e| (0..traces.len()).map(move |t| (e, t))).collect();
@@ -169,7 +204,7 @@ impl<'a> Grid<'a> {
         let traces_ref = &traces;
         let reports = parallel_map(&cells, |&(e, t)| {
             let engine = engines[e];
-            let trace = &traces_ref[t];
+            let trace: &NetworkTrace = &traces_ref[t];
             engine.supports(trace).then(|| engine.evaluate(trace))
         });
 
@@ -177,6 +212,7 @@ impl<'a> Grid<'a> {
             engines: self.engines.iter().map(|e| e.name()).collect(),
             benchmarks,
             seeds,
+            scale,
             traces,
             reports,
         }
@@ -191,7 +227,9 @@ pub struct GridRun {
     pub benchmarks: Vec<Benchmark>,
     /// Seeds, in insertion order.
     pub seeds: Vec<u64>,
-    traces: Vec<NetworkTrace>,
+    /// Point-count scale factor the traces were built at.
+    pub scale: f64,
+    traces: Vec<Arc<NetworkTrace>>,
     reports: Vec<Option<EngineReport>>,
 }
 
@@ -241,6 +279,50 @@ impl GridRun {
         self.geomean_over(|b, s| self.energy_ratio(base, rival, b, s))
     }
 
+    /// Mean ± 95 % CI of the speedup of `base` over `rival` on one
+    /// benchmark, aggregated over the seed axis. `None` when no seed has
+    /// both sides supported.
+    pub fn speedup_summary(&self, base: usize, rival: usize, benchmark: usize) -> Option<Summary> {
+        self.summary_over_seeds(|s| self.speedup(base, rival, benchmark, s))
+    }
+
+    /// Mean speedup of `base` over `rival` on one benchmark across
+    /// seeds; `None` when no seed has both sides supported.
+    pub fn mean_speedup(&self, base: usize, rival: usize, benchmark: usize) -> Option<f64> {
+        self.speedup_summary(base, rival, benchmark).map(|s| s.mean)
+    }
+
+    /// 95 % CI half-width of the per-seed speedups of `base` over
+    /// `rival` on one benchmark; `None` when no seed has both sides
+    /// supported.
+    pub fn ci95_speedup(&self, base: usize, rival: usize, benchmark: usize) -> Option<f64> {
+        self.speedup_summary(base, rival, benchmark).map(|s| s.ci95)
+    }
+
+    /// Mean ± 95 % CI of `engine`'s end-to-end latency (ms) on one
+    /// benchmark across seeds; `None` when unsupported on every seed.
+    pub fn latency_summary(&self, engine: usize, benchmark: usize) -> Option<Summary> {
+        self.summary_over_seeds(|s| self.report(engine, benchmark, s).map(|r| r.latency_ms()))
+    }
+
+    /// Mean ± 95 % CI over seeds of the per-seed geometric-mean speedup
+    /// of `base` over `rival` across benchmarks — the headline
+    /// "GeoMean" number of Fig. 13/14/15 with honest error bars. `None`
+    /// when no seed has any supported (base, rival) pair.
+    pub fn geomean_speedup_summary(&self, base: usize, rival: usize) -> Option<Summary> {
+        self.summary_over_seeds(|s| {
+            let per_seed: Vec<f64> = (0..self.benchmarks.len())
+                .filter_map(|b| self.speedup(base, rival, b, s))
+                .collect();
+            (!per_seed.is_empty()).then(|| geomean(&per_seed))
+        })
+    }
+
+    fn summary_over_seeds(&self, get: impl Fn(usize) -> Option<f64>) -> Option<Summary> {
+        let samples: Vec<f64> = (0..self.seeds.len()).filter_map(get).collect();
+        (!samples.is_empty()).then(|| Summary::from_samples(&samples))
+    }
+
     fn geomean_over(&self, get: impl Fn(usize, usize) -> Option<f64>) -> f64 {
         let values: Vec<f64> = (0..self.benchmarks.len())
             .flat_map(|b| (0..self.seeds.len()).map(move |s| (b, s)))
@@ -264,11 +346,8 @@ mod tests {
     fn parallel_map_preserves_order_across_workers() {
         // Force several workers so the concurrent path runs even on
         // single-core CI machines.
-        std::env::set_var("POINTACC_THREADS", "4");
-        assert_eq!(worker_threads(), 4);
         let items: Vec<u64> = (0..257).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        std::env::remove_var("POINTACC_THREADS");
+        let out = parallel_map_with(4, &items, |&x| x * 2);
         assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
     }
 
@@ -280,7 +359,6 @@ mod tests {
 
     #[test]
     fn grid_matches_sequential_evaluation() {
-        std::env::set_var("POINTACC_SCALE", "0.05");
         let acc = Accelerator::new(PointAccConfig::edge());
         let gpu = Platform::jetson_nano();
         let benchmarks: Vec<_> = zoo::benchmarks().into_iter().take(3).collect();
@@ -288,12 +366,15 @@ mod tests {
             .engines([&acc as &dyn Engine, &gpu])
             .benchmarks(benchmarks.clone())
             .seeds([1, 2])
+            .scale(0.05)
             .run();
         assert_eq!(run.engines, vec!["PointAcc.Edge", "Jetson Nano"]);
+        assert_eq!(run.scale, 0.05);
         for (b, bench) in benchmarks.iter().enumerate() {
             for s in 0..2 {
-                let trace = benchmark_trace(bench, [1, 2][s]);
+                let trace = crate::benchmark_trace_at(bench, [1, 2][s], 0.05);
                 assert_eq!(run.trace(b, s).network, trace.network);
+                assert_eq!(run.trace(b, s).fingerprint(), trace.fingerprint());
                 let want = gpu.run(&trace);
                 assert_eq!(run.report(1, b, s), Some(&want));
                 assert!(run.speedup(0, 1, b, s).unwrap() > 0.0);
@@ -311,13 +392,12 @@ mod tests {
 
     #[test]
     fn unsupported_cells_are_none_not_panics() {
-        std::env::set_var("POINTACC_SCALE", "0.05");
         let mesorasi = Mesorasi::new();
         let minknet = zoo::benchmarks()
             .into_iter()
             .find(|b| b.notation == "MinkNet(i)")
             .expect("MinkNet(i) exists");
-        let run = Grid::new().engine(&mesorasi).benchmarks([minknet]).run();
+        let run = Grid::new().engine(&mesorasi).benchmarks([minknet]).scale(0.05).run();
         assert_eq!(run.report(0, 0, 0), None);
         assert_eq!(run.speedup(0, 0, 0, 0), None);
         assert!(run.geomean_speedup(0, 0).is_nan());

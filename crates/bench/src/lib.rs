@@ -11,10 +11,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod harness;
+pub mod serve;
 
 use pointacc_data::Dataset;
-use pointacc_nn::{zoo::Benchmark, ExecMode, Executor, NetworkTrace};
+use pointacc_nn::{zoo::Benchmark, ExecMode, Executor, NetworkTrace, TraceKey};
+
+/// Default seed list of the statistical figure binaries: every reported
+/// number aggregates these dataset seeds into mean ± 95 % CI (seed 42
+/// first, so single-seed runs stay comparable with older output).
+pub const SEEDS: [u64; 3] = [42, 43, 44];
 
 /// Resolves a Table 2 dataset name to the generator enum.
 ///
@@ -30,20 +37,55 @@ pub fn dataset_by_name(name: &str) -> Dataset {
 
 /// Point-count scale factor from `POINTACC_SCALE` (default 1.0). Set
 /// e.g. `POINTACC_SCALE=0.25` for quick smoke runs.
+///
+/// The environment is read **once** per process; later mutations of the
+/// variable are ignored. Code that needs a specific scale (tests, the
+/// serving layer) should pass it explicitly — [`benchmark_trace_at`],
+/// [`harness::Grid::scale`] — instead of mutating the process
+/// environment, which is racy under the parallel test runner.
 pub fn scale() -> f64 {
-    std::env::var("POINTACC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("POINTACC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    })
 }
 
 /// Builds the execution trace of one benchmark on its synthetic dataset
-/// (trace-only fidelity — identical costs, no feature arithmetic).
+/// (trace-only fidelity — identical costs, no feature arithmetic) at the
+/// process-wide [`scale`].
 pub fn benchmark_trace(bench: &Benchmark, seed: u64) -> NetworkTrace {
+    benchmark_trace_at(bench, seed, scale())
+}
+
+/// [`benchmark_trace`] with an explicit point-count scale factor.
+pub fn benchmark_trace_at(bench: &Benchmark, seed: u64, scale: f64) -> NetworkTrace {
     let ds = dataset_by_name(bench.dataset);
-    let n = ((bench.network.default_points() as f64 * scale()) as usize).max(64);
+    let n = ((bench.network.default_points() as f64 * scale) as usize).max(64);
     let pts = ds.generate(seed, n);
     let mut trace = Executor::new(ExecMode::TraceOnly, seed).run(&bench.network, &pts);
     trace.trace.network = bench.notation.to_string();
     trace.trace.input_desc = format!("{} ({n} pts)", bench.dataset);
     trace.trace
+}
+
+/// The cache key of one benchmark trace at `seed` and `scale`.
+pub fn benchmark_trace_key(bench: &Benchmark, seed: u64, scale: f64) -> TraceKey {
+    TraceKey::new(bench.notation, seed, scale)
+}
+
+/// Builds (or fetches) the benchmark trace through the process-wide
+/// [`cache::global`] trace cache, sharing compilation work across grids
+/// and figure binaries ([`serve::serve`] deliberately uses a
+/// run-private cache instead, so its hit rate reflects one request
+/// stream). Cached traces are retained until [`cache::TraceCache::clear`].
+pub fn cached_benchmark_trace(
+    bench: &Benchmark,
+    seed: u64,
+    scale: f64,
+) -> std::sync::Arc<NetworkTrace> {
+    cache::global().get_or_build(&benchmark_trace_key(bench, seed, scale), || {
+        benchmark_trace_at(bench, seed, scale)
+    })
 }
 
 /// Geometric mean of positive values.

@@ -1,0 +1,443 @@
+//! Batched request serving over a set of [`Engine`]s.
+//!
+//! The paper evaluates single-inference latency; serving heavy traffic
+//! needs the opposite shape: a bounded queue of inference requests
+//! drained by sharded worker threads, with trace compilation amortized
+//! through a [`TraceCache`] and throughput — not just latency —
+//! reported. This module provides that serving loop:
+//!
+//! - [`BoundedQueue`], a blocking MPSC channel with backpressure (the
+//!   producer blocks while the queue is at capacity);
+//! - [`serve`], which fans a request stream out to
+//!   `workers_per_engine × engines` workers, each worker pinned to one
+//!   engine shard, pulling whichever request is next (work-stealing by
+//!   construction — a shared queue balances skewed benchmarks);
+//! - [`ServeReport`], the aggregate: requests/s, points/s, queue-latency
+//!   percentiles and the trace-cache hit rate.
+//!
+//! ```
+//! use pointacc::{Accelerator, Engine, PointAccConfig};
+//! use pointacc_bench::serve::{serve, Request, ServeOptions};
+//! use pointacc_nn::zoo;
+//!
+//! let full = Accelerator::new(PointAccConfig::full());
+//! let edge = Accelerator::new(PointAccConfig::edge());
+//! let benchmarks: Vec<_> = zoo::benchmarks().into_iter().take(2).collect();
+//! let requests: Vec<Request> =
+//!     (0..8).map(|i| Request { benchmark: i % 2, seed: 42 }).collect();
+//! let report = serve(
+//!     &[&full as &dyn Engine, &edge],
+//!     &benchmarks,
+//!     requests,
+//!     ServeOptions { scale: 0.02, ..ServeOptions::default() },
+//! );
+//! assert_eq!(report.completed, 8);
+//! assert!(report.cache.hit_rate() > 0.0);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pointacc::Engine;
+use pointacc_nn::zoo::Benchmark;
+
+use crate::benchmark_trace_at;
+use crate::cache::{CacheStats, TraceCache};
+use pointacc_nn::TraceKey;
+
+/// One inference request: a benchmark (index into the server's
+/// benchmark list) and the dataset seed identifying the input cloud.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Index into the benchmark list the server was started with.
+    pub benchmark: usize,
+    /// Dataset seed of the input point cloud.
+    pub seed: u64,
+}
+
+/// Tuning knobs of one [`serve`] run.
+#[derive(Copy, Clone, Debug)]
+pub struct ServeOptions {
+    /// Maximum queued (not yet claimed) requests; the producer blocks
+    /// when the queue is full.
+    pub queue_capacity: usize,
+    /// Worker threads per engine shard.
+    pub workers_per_engine: usize,
+    /// Point-count scale factor of the input clouds.
+    pub scale: f64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { queue_capacity: 16, workers_per_engine: 1, scale: 1.0 }
+    }
+}
+
+/// A blocking bounded MPSC queue: `push` blocks while full, `pop`
+/// blocks while empty, `close` drains remaining items then ends the
+/// stream.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is 0 (every push would deadlock).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is at capacity.
+    /// Returns `false` (dropping the item) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: queued items still drain, further pushes fail,
+    /// and poppers return `None` once empty.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued (racy; for monitoring only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Aggregate statistics of one [`serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests evaluated to completion.
+    pub completed: usize,
+    /// Requests skipped because the assigned engine shard does not
+    /// support the benchmark.
+    pub unsupported: usize,
+    /// Input points across completed requests.
+    pub points: u64,
+    /// Wall-clock time from first enqueue to last completion.
+    pub wall: Duration,
+    /// Median time requests spent queued before a worker claimed them.
+    pub queue_p50: Duration,
+    /// 99th-percentile queue time.
+    pub queue_p99: Duration,
+    /// Trace-cache counters of the run (private cache, so the hit rate
+    /// reflects this request stream only).
+    pub cache: CacheStats,
+    /// `(engine name, completed requests)` per shard, in engine order.
+    pub per_engine: Vec<(String, usize)>,
+}
+
+impl ServeReport {
+    /// Completed requests per second of wall-clock time.
+    pub fn requests_per_s(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Input points evaluated per second of wall-clock time.
+    pub fn points_per_s(&self) -> f64 {
+        self.points as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// One completed request as recorded by a worker.
+struct Completion {
+    engine: usize,
+    queue_latency: Duration,
+    points: u64,
+    supported: bool,
+}
+
+/// Drains `requests` through a bounded queue fanned out to
+/// `options.workers_per_engine` workers per engine shard, amortizing
+/// trace compilation through a run-private [`TraceCache`].
+///
+/// Requests naming an out-of-range benchmark index panic; unsupported
+/// (engine, benchmark) combinations are counted, not evaluated.
+///
+/// # Panics
+///
+/// Panics when `engines` or `benchmarks` is empty.
+pub fn serve(
+    engines: &[&dyn Engine],
+    benchmarks: &[Benchmark],
+    requests: impl IntoIterator<Item = Request>,
+    options: ServeOptions,
+) -> ServeReport {
+    assert!(!engines.is_empty(), "serving needs at least one engine");
+    assert!(!benchmarks.is_empty(), "serving needs at least one benchmark");
+    let workers = engines.len() * options.workers_per_engine.max(1);
+    let queue: BoundedQueue<(Request, Instant)> = BoundedQueue::new(options.queue_capacity);
+    let cache = TraceCache::new();
+    let start = Instant::now();
+
+    // Closes the queue when a worker exits for any reason — crucially
+    // including a panic unwinding through `engine.evaluate`. Without it
+    // the producer could block forever in `push` against a full queue
+    // that no surviving worker will drain; closing unblocks the
+    // producer, lets the scope join, and the scope then rethrows the
+    // worker's panic. Normal worker exit only happens once the queue is
+    // already closed, so the eager close is harmless there.
+    struct CloseOnExit<'a, T>(&'a BoundedQueue<T>);
+    impl<T> Drop for CloseOnExit<'_, T> {
+        fn drop(&mut self) {
+            self.0.close();
+        }
+    }
+
+    let completions: Vec<Completion> = std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<Completion>();
+        for w in 0..workers {
+            let engine = engines[w % engines.len()];
+            let engine_idx = w % engines.len();
+            let queue = &queue;
+            let cache = &cache;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let _close_on_exit = CloseOnExit(queue);
+                while let Some((req, enqueued)) = queue.pop() {
+                    let queue_latency = enqueued.elapsed();
+                    let bench = &benchmarks[req.benchmark];
+                    let key = TraceKey::new(bench.notation, req.seed, options.scale);
+                    let trace = cache
+                        .get_or_build(&key, || benchmark_trace_at(bench, req.seed, options.scale));
+                    let supported = engine.supports(&trace);
+                    let points = if supported {
+                        let report = engine.evaluate(&trace);
+                        debug_assert!(report.is_physical());
+                        trace.input_points() as u64
+                    } else {
+                        0
+                    };
+                    if tx
+                        .send(Completion { engine: engine_idx, queue_latency, points, supported })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // This thread is the producer: enqueue with backpressure, then
+        // close so workers drain and exit. A failed push means a worker
+        // died and closed the queue — stop producing so its panic can
+        // surface through the scope join.
+        for req in requests {
+            assert!(req.benchmark < benchmarks.len(), "request names unknown benchmark");
+            if !queue.push((req, Instant::now())) {
+                break;
+            }
+        }
+        queue.close();
+        rx.into_iter().collect()
+    });
+
+    let wall = start.elapsed();
+    let mut latencies: Vec<Duration> = completions.iter().map(|c| c.queue_latency).collect();
+    latencies.sort_unstable();
+    let mut per_engine: Vec<(String, usize)> = engines.iter().map(|e| (e.name(), 0)).collect();
+    let mut completed = 0;
+    let mut unsupported = 0;
+    let mut points = 0;
+    for c in &completions {
+        if c.supported {
+            completed += 1;
+            points += c.points;
+            per_engine[c.engine].1 += 1;
+        } else {
+            unsupported += 1;
+        }
+    }
+    ServeReport {
+        completed,
+        unsupported,
+        points,
+        wall,
+        queue_p50: percentile(&latencies, 50.0),
+        queue_p99: percentile(&latencies, 99.0),
+        cache: cache.stats(),
+        per_engine,
+    }
+}
+
+/// Nearest-rank percentile of sorted durations; zero for an empty set.
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointacc::{Accelerator, PointAccConfig};
+    use pointacc_baselines::Mesorasi;
+    use pointacc_nn::zoo;
+
+    #[test]
+    fn bounded_queue_applies_backpressure_and_drains_in_order() {
+        let queue: BoundedQueue<u32> = BoundedQueue::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..64 {
+                    assert!(queue.push(i));
+                }
+                queue.close();
+            });
+            let consumer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(i) = queue.pop() {
+                    // A capacity-2 queue can never be more than 2 deep.
+                    assert!(queue.len() <= 2);
+                    got.push(i);
+                }
+                got
+            });
+            assert_eq!(consumer.join().unwrap(), (0..64).collect::<Vec<_>>());
+        });
+        assert!(!queue.push(99), "closed queue rejects pushes");
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ms[..1], 99.0), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn serve_drains_every_request_across_shards() {
+        let full = Accelerator::new(PointAccConfig::full());
+        let edge = Accelerator::new(PointAccConfig::edge());
+        let benchmarks: Vec<_> = zoo::benchmarks()
+            .into_iter()
+            .filter(|b| b.notation == "PointNet" || b.notation == "DGCNN")
+            .collect();
+        // 3 rounds × 2 benchmarks × 2 seeds = 12 unique keys hit 3×.
+        let requests: Vec<Request> = (0..3)
+            .flat_map(|_| (0..2).flat_map(|b| [1, 2].map(|seed| Request { benchmark: b, seed })))
+            .collect();
+        let n = requests.len();
+        let report = serve(
+            &[&full as &dyn Engine, &edge],
+            &benchmarks,
+            requests,
+            ServeOptions { queue_capacity: 4, workers_per_engine: 2, scale: 0.05 },
+        );
+        assert_eq!(report.completed, n);
+        assert_eq!(report.unsupported, 0);
+        assert!(report.points > 0);
+        assert!(report.requests_per_s() > 0.0);
+        assert!(report.points_per_s() > 0.0);
+        assert!(report.queue_p50 <= report.queue_p99);
+        // 12 requests over 4 unique (benchmark, seed) keys: 4 compiles,
+        // 8 cache hits.
+        assert_eq!(report.cache.misses, 4);
+        assert_eq!(report.cache.hits, 8);
+        assert_eq!(report.per_engine.len(), 2);
+        assert_eq!(report.per_engine.iter().map(|(_, n)| n).sum::<usize>(), n);
+    }
+
+    #[test]
+    // The scope join rethrows with its own message (the worker's
+    // "engine exploded" payload is still printed by the panic hook).
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate_instead_of_hanging() {
+        struct Exploding;
+        impl Engine for Exploding {
+            fn name(&self) -> String {
+                "Exploding".into()
+            }
+            fn evaluate(&self, _: &pointacc_nn::NetworkTrace) -> pointacc::EngineReport {
+                panic!("engine exploded")
+            }
+        }
+        let engine = Exploding;
+        let benchmarks: Vec<_> =
+            zoo::benchmarks().into_iter().filter(|b| b.notation == "PointNet").collect();
+        // More requests than queue capacity: without close-on-panic the
+        // producer would block forever against a full queue no worker
+        // drains; with it, the scope join rethrows the worker's panic.
+        let requests = (0..32).map(|_| Request { benchmark: 0, seed: 42 });
+        let _ = serve(
+            &[&engine as &dyn Engine],
+            &benchmarks,
+            requests,
+            ServeOptions { queue_capacity: 2, scale: 0.05, ..ServeOptions::default() },
+        );
+    }
+
+    #[test]
+    fn unsupported_shards_count_instead_of_evaluating() {
+        let mesorasi = Mesorasi::new();
+        let minknet: Vec<_> =
+            zoo::benchmarks().into_iter().filter(|b| b.notation == "MinkNet(i)").collect();
+        let requests = (0..4).map(|_| Request { benchmark: 0, seed: 42 });
+        let report = serve(
+            &[&mesorasi as &dyn Engine],
+            &minknet,
+            requests,
+            ServeOptions { scale: 0.05, ..ServeOptions::default() },
+        );
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.unsupported, 4);
+        assert_eq!(report.points, 0);
+    }
+}

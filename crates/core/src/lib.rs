@@ -47,6 +47,7 @@ pub mod mmu;
 pub mod mpu;
 mod mxu;
 mod perf;
+pub mod summary;
 
 pub use accelerator::{Accelerator, CachePolicy, RunOptions};
 pub use config::PointAccConfig;
@@ -54,3 +55,4 @@ pub use engine::{Engine, EngineReport};
 pub use mpu::Mpu;
 pub use mxu::Mxu;
 pub use perf::{LayerPerf, RunReport, Seconds};
+pub use summary::Summary;

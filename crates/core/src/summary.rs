@@ -1,0 +1,115 @@
+//! Statistical aggregation of repeated measurements.
+//!
+//! The evaluation harness runs every (engine, benchmark) cell across a
+//! seed axis; this module turns those per-seed samples into the numbers
+//! figures should report — mean, sample standard deviation and a 95 %
+//! confidence interval — instead of a single arbitrary seed. The CI uses
+//! the Student's-t quantile for small sample counts (the harness
+//! typically runs 3–10 seeds) and falls back to the normal 1.96 beyond
+//! 30 degrees of freedom.
+
+use std::fmt;
+
+/// Two-sided 97.5 % Student's-t quantiles for 1..=30 degrees of freedom.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Mean / spread summary of repeated samples of one quantity.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected); 0 for one sample.
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (`mean ± ci95`); 0 for one sample.
+    pub ci95: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes `samples` into mean, standard deviation and 95 % CI.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice — a figure reporting statistics over
+    /// zero runs is a caller bug.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary { mean, std_dev: 0.0, ci95: 0.0, n };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let std_dev = var.sqrt();
+        let t = T_975.get(n - 2).copied().unwrap_or(1.96);
+        Summary { mean, std_dev, ci95: t * std_dev / (n as f64).sqrt(), n }
+    }
+
+    /// Relative CI half-width (`ci95 / mean`); `NaN` when the mean is 0.
+    pub fn rel_ci95(&self) -> f64 {
+        self.ci95 / self.mean
+    }
+}
+
+impl fmt::Display for Summary {
+    /// Formats as `mean±ci95`, inheriting the caller's precision
+    /// (e.g. `{:.1}` → `3.7±0.2`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prec = f.precision().unwrap_or(2);
+        write!(f, "{:.p$}±{:.p$}", self.mean, self.ci95, p = prec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s, Summary { mean: 3.5, std_dev: 0.0, ci95: 0.0, n: 1 });
+    }
+
+    #[test]
+    fn known_three_sample_distribution() {
+        // Samples 2, 4, 6: mean 4, sample std 2, t(0.975, df=2)=4.303.
+        let s = Summary::from_samples(&[2.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert!((s.ci95 - 4.303 * 2.0 / 3f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn large_samples_use_normal_quantile() {
+        let samples: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let s = Summary::from_samples(&samples);
+        assert!((s.ci95 - 1.96 * s.std_dev / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_ci() {
+        let s = Summary::from_samples(&[7.0; 5]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.ci95, 0.0);
+        assert!(s.rel_ci95().abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_carries_precision() {
+        let s = Summary::from_samples(&[2.0, 4.0, 6.0]);
+        assert_eq!(format!("{s:.1}"), "4.0±5.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_samples_panic() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

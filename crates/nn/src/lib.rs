@@ -42,5 +42,5 @@ pub mod zoo;
 pub use exec::{ExecMode, ExecOutput, Executor};
 pub use layer::{Domain, Op};
 pub use network::Network;
-pub use trace::{Aggregation, ComputeKind, LayerTrace, MappingOp, NetworkTrace};
+pub use trace::{Aggregation, ComputeKind, LayerTrace, MappingOp, NetworkTrace, TraceKey};
 pub use weights::WeightGen;

@@ -205,6 +205,40 @@ impl LayerTrace {
     }
 }
 
+/// Cache identity of a compiled trace: the complete set of inputs that
+/// determine it.
+///
+/// A benchmark trace is a pure function of the network, the dataset seed
+/// and the point-count scale, so `(network, seed, scale)` is a sound
+/// cache key for sharing compiled traces across runs. The scale is
+/// stored in parts-per-million so the key is `Eq + Hash` without
+/// touching raw floats.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Network notation, e.g. `"MinkNet(i)"`.
+    pub network: String,
+    /// Dataset generator seed.
+    pub seed: u64,
+    /// Point-count scale factor in parts-per-million (1.0 → 1_000_000).
+    pub scale_ppm: u64,
+}
+
+impl TraceKey {
+    /// Key for `network` at `seed` and a fractional point-count `scale`.
+    pub fn new(network: &str, seed: u64, scale: f64) -> Self {
+        TraceKey {
+            network: network.to_string(),
+            seed,
+            scale_ppm: (scale.max(0.0) * 1e6).round() as u64,
+        }
+    }
+
+    /// The scale factor the key was built from (ppm → fraction).
+    pub fn scale(&self) -> f64 {
+        self.scale_ppm as f64 / 1e6
+    }
+}
+
 /// Trace of a full network execution.
 #[derive(Clone, Debug, Default)]
 pub struct NetworkTrace {
@@ -250,6 +284,30 @@ impl NetworkTrace {
     /// Number of points at the network input.
     pub fn input_points(&self) -> usize {
         self.layers.first().map_or(0, |l| l.n_in)
+    }
+
+    /// Cheap structural fingerprint (FNV-1a over per-layer shapes and
+    /// map counts). Two traces of the same network/seed/scale always
+    /// agree; a cache can use it to verify the integrity of a hit
+    /// without comparing whole map tables.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.layers.len() as u64);
+        for l in &self.layers {
+            mix(l.n_in as u64);
+            mix(l.n_out as u64);
+            mix(l.in_ch as u64);
+            mix(l.out_ch as u64);
+            mix(l.maps.as_ref().map_or(0, |m| m.len()) as u64);
+            mix(l.mapping_scalar_ops());
+        }
+        h
     }
 }
 
@@ -317,6 +375,33 @@ mod tests {
         assert_eq!(t.total_macs(), 2 * 3 * 4 * 8);
         assert_eq!(t.total_maps(), 6);
         assert!(t.total_mapping_ops() > 0);
+    }
+
+    #[test]
+    fn trace_keys_hash_scale_in_ppm() {
+        let a = TraceKey::new("PointNet", 42, 0.05);
+        let b = TraceKey::new("PointNet", 42, 0.05);
+        assert_eq!(a, b);
+        assert!((a.scale() - 0.05).abs() < 1e-12);
+        assert_ne!(a, TraceKey::new("PointNet", 42, 0.1));
+        assert_ne!(a, TraceKey::new("PointNet", 43, 0.05));
+        assert_ne!(a, TraceKey::new("DGCNN", 42, 0.05));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let t = NetworkTrace {
+            network: "t".into(),
+            input_desc: "x".into(),
+            layers: vec![sparse_layer()],
+        };
+        assert_eq!(t.fingerprint(), t.clone().fingerprint());
+        let mut bigger = t.clone();
+        bigger.layers.push(sparse_layer());
+        assert_ne!(t.fingerprint(), bigger.fingerprint());
+        let mut wider = t.clone();
+        wider.layers[0].out_ch += 1;
+        assert_ne!(t.fingerprint(), wider.fingerprint());
     }
 
     #[test]

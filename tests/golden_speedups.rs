@@ -1,0 +1,73 @@
+//! Golden regression test: the geometric-mean speedup of PointAcc over
+//! every baseline engine, at a fixed workload (`scale = 0.05`, seed 42),
+//! locked to snapshot values.
+//!
+//! The harness, the engines and the trace generator are all
+//! deterministic, so these numbers must reproduce bit-for-bit modulo
+//! floating-point noise. An engine or compiler refactor that changes the
+//! reported results — intentionally or not — fails this test loudly;
+//! update the snapshot only when the change is understood and the new
+//! numbers are the ones future figures should report.
+
+use pointacc::{Accelerator, Engine, PointAccConfig};
+use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
+use pointacc_bench::harness::Grid;
+
+/// Workload lock: do not change without regenerating the snapshot.
+const GOLDEN_SCALE: f64 = 0.05;
+const GOLDEN_SEED: u64 = 42;
+
+/// `(baseline name, geomean speedup of PointAcc.Full over it)` across
+/// every (benchmark, seed) cell the baseline supports.
+const GOLDEN_GEOMEANS: [(&str, f64); 9] = [
+    ("RTX 2080Ti", 4.103448195550159),
+    ("Xeon + TPUv3", 49.22709469905911),
+    ("Xeon Gold 6130", 79.3468815171243),
+    ("Jetson Xavier NX", 16.4903456389767),
+    ("Jetson Nano", 40.06575072761132),
+    ("Raspberry Pi 4B", 683.301170492624),
+    ("Mesorasi", 28.319231858542654),
+    ("Mesorasi-SW on Jetson Nano", 27.289168025352986),
+    ("Mesorasi-SW on Raspberry Pi 4B", 314.7041152127234),
+];
+
+/// Relative tolerance: generous against FP-order noise, far tighter
+/// than any real modeling change.
+const REL_TOL: f64 = 1e-6;
+
+#[test]
+fn geomean_speedups_match_snapshot() {
+    let acc = Accelerator::new(PointAccConfig::full());
+    let platforms = [
+        Platform::rtx_2080ti(),
+        Platform::xeon_tpu_v3(),
+        Platform::xeon_6130(),
+        Platform::jetson_xavier_nx(),
+        Platform::jetson_nano(),
+        Platform::raspberry_pi_4b(),
+    ];
+    let mesorasi = Mesorasi::new();
+    let sw_nano = MesorasiSw::on(Platform::jetson_nano());
+    let sw_rpi = MesorasiSw::on(Platform::raspberry_pi_4b());
+
+    let mut engines: Vec<&dyn Engine> = vec![&acc];
+    engines.extend(platforms.iter().map(|p| p as &dyn Engine));
+    engines.extend([&mesorasi as &dyn Engine, &sw_nano, &sw_rpi]);
+
+    let run = Grid::new().engines(engines).seeds([GOLDEN_SEED]).scale(GOLDEN_SCALE).run();
+
+    let mut failures = Vec::new();
+    for (i, &(name, golden)) in GOLDEN_GEOMEANS.iter().enumerate() {
+        let rival = 1 + i;
+        assert_eq!(run.engines[rival], name, "baseline order changed — regenerate the snapshot");
+        let got = run.geomean_speedup(0, rival);
+        println!("    (\"{name}\", {got}),");
+        let rel = ((got - golden) / golden).abs();
+        if rel.is_nan() || rel >= REL_TOL {
+            failures.push(format!(
+                "{name}: geomean speedup {got} drifted from snapshot {golden} (rel {rel:.2e})"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "reported results changed:\n{}", failures.join("\n"));
+}

@@ -1,0 +1,53 @@
+//! Property tests for the harness scheduler: for arbitrary input
+//! lengths × worker counts, `parallel_map` must behave exactly like a
+//! sequential `map` — order preserved, every index produced exactly
+//! once — because every grid cell and serving completion is routed
+//! through it.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use pointacc_bench::harness::parallel_map_with;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn preserves_order_for_any_length_and_worker_count(
+        items in prop::collection::vec(0u64..1_000_000, 0..120),
+        workers in 1usize..12,
+    ) {
+        let out = parallel_map_with(workers, &items, |&x| x.wrapping_mul(3) ^ 0x5A5A);
+        let want: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(3) ^ 0x5A5A).collect();
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
+    fn visits_every_index_exactly_once(
+        len in 0usize..150,
+        workers in 1usize..12,
+    ) {
+        let indices: Vec<usize> = (0..len).collect();
+        let visits: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        let out = parallel_map_with(workers, &indices, |&i| {
+            visits[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        // The result slot of index i holds i — no index lands in another
+        // slot — and the closure ran exactly once per index.
+        prop_assert_eq!(out, indices);
+        for (i, v) in visits.iter().enumerate() {
+            prop_assert_eq!(v.load(Ordering::SeqCst), 1, "index {} visited more than once", i);
+        }
+    }
+
+    #[test]
+    fn worker_counts_beyond_len_are_safe(
+        len in 0usize..8,
+        workers in 8usize..64,
+    ) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let out = parallel_map_with(workers, &items, |&x| x + 1);
+        prop_assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+}
