@@ -3,11 +3,11 @@
 
 use pointacc::Mpu;
 use pointacc_baselines::HashKernelMapEngine;
-use pointacc_bench::{dataset_by_name, print_table, scale};
+use pointacc_bench::{dataset_or_exit, print_table, scale};
 use pointacc_sim::area;
 
 fn main() {
-    let ds = dataset_by_name("SemanticKITTI");
+    let ds = dataset_or_exit("SemanticKITTI");
     let n = ((60_000.0 * scale()) as usize).max(1024);
     let pts = ds.generate(42, n);
     let (cloud, _) = pts.voxelize(0.1);

@@ -6,7 +6,7 @@
 
 use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
-use pointacc_bench::{benchmark_trace, dataset_by_name, paper, print_table, scale};
+use pointacc_bench::{benchmark_trace, dataset_or_exit, paper, print_table, scale};
 use pointacc_nn::{zoo, ExecMode, Executor};
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
 
     // Mini-MinkowskiUNet on the same room for PointAcc.Edge.
     let mini = zoo::mini_minkunet();
-    let ds = dataset_by_name("S3DIS");
+    let ds = dataset_or_exit("S3DIS");
     let n = ((mini.default_points() as f64 * scale()) as usize).max(64);
     let pts = ds.generate(42, n);
     let mini_trace = Executor::new(ExecMode::TraceOnly, 42).run(&mini, &pts).trace;

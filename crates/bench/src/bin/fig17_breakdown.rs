@@ -8,7 +8,7 @@
 
 use pointacc::{Accelerator, CachePolicy, Engine, Mpu, PointAccConfig, RunOptions};
 use pointacc_baselines::{HashKernelMapEngine, Platform};
-use pointacc_bench::{dataset_by_name, print_table, scale};
+use pointacc_bench::{dataset_or_exit, print_table, scale};
 use pointacc_nn::{zoo, ComputeKind, ExecMode, Executor, NetworkTrace};
 
 fn first_downsample(trace: &NetworkTrace) -> NetworkTrace {
@@ -27,7 +27,7 @@ fn first_downsample(trace: &NetworkTrace) -> NetworkTrace {
 
 fn main() {
     let net = zoo::minknet_outdoor();
-    let ds = dataset_by_name("SemanticKITTI");
+    let ds = dataset_or_exit("SemanticKITTI");
     let n = ((net.default_points() as f64 * scale()) as usize).max(256);
     let pts = ds.generate(42, n);
     let full = Executor::new(ExecMode::TraceOnly, 42).run(&net, &pts).trace;

@@ -2,11 +2,11 @@
 //! kernel size k in {2, 3} and channel count c in {64, 128}.
 
 use pointacc::mmu::{simulate_sparse_accesses, CacheConfig, SparseAccessPlan};
-use pointacc_bench::{dataset_by_name, print_table, scale};
+use pointacc_bench::{dataset_or_exit, print_table, scale};
 use pointacc_geom::golden;
 
 fn main() {
-    let ds = dataset_by_name("SemanticKITTI");
+    let ds = dataset_or_exit("SemanticKITTI");
     let n = ((20_000.0 * scale()) as usize).max(512);
     let pts = ds.generate(42, n);
     let (cloud, _) = pts.voxelize(0.1);

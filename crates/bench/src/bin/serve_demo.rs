@@ -43,11 +43,15 @@ fn main() {
     let report = serve(&engines, &benchmarks, requests, options);
 
     println!(
-        "drained     {} requests ({} unsupported) in {:.3} s",
-        report.completed + report.unsupported,
+        "drained     {} requests ({} unsupported, {} failed) in {:.3} s",
+        report.completed + report.unsupported + report.failed,
         report.unsupported,
+        report.failed,
         report.wall.as_secs_f64()
     );
+    for msg in &report.failures {
+        println!("  failure: {msg}");
+    }
     println!(
         "throughput  {:.1} requests/s | {:.3} Mpoints/s",
         report.requests_per_s(),

@@ -15,22 +15,34 @@
 //! does exactly that, so its reported hit rate reflects one request
 //! stream and is **not** warmed by earlier grid runs.
 //!
-//! The cache never evicts on its own: every compiled trace is retained
-//! for the life of the process (or cache). Long-lived drivers sweeping
-//! many seeds/scales should call [`TraceCache::clear`] between sweeps.
+//! The cache never evicts on its own: every build outcome — a compiled
+//! trace, or the [`TraceBuildError`] of a key that cannot compile
+//! (negative caching, via [`TraceCache::try_get_or_build`]) — is
+//! retained for the life of the process (or cache). Long-lived drivers
+//! sweeping many seeds/scales should call [`TraceCache::clear`] between
+//! sweeps.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::TraceBuildError;
 use pointacc_nn::{NetworkTrace, TraceKey};
 
 /// Hit/miss counters of one cache (a consistent snapshot).
+///
+/// "Hit" means the lookup skipped a build — including lookups served
+/// from a *negatively cached* failure ([`TraceCache::try_get_or_build`]).
+/// The counters measure build amortization, not serving health; a
+/// failure-heavy request stream shows a high hit rate while completing
+/// nothing, so read them alongside
+/// [`ServeReport::failed`](crate::serve::ServeReport::failed).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from an already-compiled trace.
+    /// Lookups served from an already-cached outcome (compiled trace
+    /// **or** cached build failure).
     pub hits: u64,
-    /// Lookups that had to compile (or wait on a concurrent compile of)
-    /// a new trace.
+    /// Lookups that had to run (or wait on a concurrent run of) the
+    /// builder for a new key.
     pub misses: u64,
 }
 
@@ -48,8 +60,10 @@ impl CacheStats {
 }
 
 /// One cache slot: a once-cell so concurrent misses on the same key
-/// serialize behind a single build.
-type Slot = Arc<OnceLock<Arc<NetworkTrace>>>;
+/// serialize behind a single build. Failed builds are cached too
+/// (negative caching): a key that cannot compile keeps returning its
+/// [`TraceBuildError`] without re-running the executor.
+type Slot = Arc<OnceLock<Result<Arc<NetworkTrace>, TraceBuildError>>>;
 
 /// A concurrent, compile-once cache of network traces keyed by
 /// [`TraceKey`].
@@ -69,11 +83,30 @@ impl TraceCache {
     /// Returns the trace of `key`, building it with `build` on the first
     /// request. Concurrent requests for the same key run `build` exactly
     /// once; the rest block until it finishes and share the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is negatively cached — an earlier
+    /// [`TraceCache::try_get_or_build`] for the same key failed. Fallible
+    /// callers (the serving layer) should use `try_get_or_build`.
     pub fn get_or_build(
         &self,
         key: &TraceKey,
         build: impl FnOnce() -> NetworkTrace,
     ) -> Arc<NetworkTrace> {
+        self.try_get_or_build(key, || Ok(build())).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TraceCache::get_or_build`] with a fallible builder: the first
+    /// request for `key` runs `build` exactly once and the outcome —
+    /// success **or** [`TraceBuildError`] — is cached, so a key that
+    /// cannot compile keeps failing cheaply instead of re-running the
+    /// executor per request.
+    pub fn try_get_or_build(
+        &self,
+        key: &TraceKey,
+        build: impl FnOnce() -> Result<NetworkTrace, TraceBuildError>,
+    ) -> Result<Arc<NetworkTrace>, TraceBuildError> {
         let (slot, fresh_slot) = {
             let mut slots = self.slots.lock().expect("trace cache poisoned");
             match slots.get(key) {
@@ -98,10 +131,10 @@ impl TraceCache {
             }
         }
         slot.get_or_init(|| {
-            let trace = Arc::new(build());
+            let result = build().map(Arc::new);
             *self.compiles.lock().expect("trace cache poisoned").entry(key.clone()).or_insert(0) +=
                 1;
-            trace
+            result
         })
         .clone()
     }
@@ -111,8 +144,8 @@ impl TraceCache {
         *self.stats.lock().expect("trace cache poisoned")
     }
 
-    /// How many times `key`'s trace was compiled (the cache invariant is
-    /// ≤ 1 for every key over the cache's lifetime).
+    /// How many times `key`'s build ran, successful or failed (the cache
+    /// invariant is ≤ 1 for every key over the cache's lifetime).
     pub fn compile_count(&self, key: &TraceKey) -> u64 {
         self.compiles.lock().expect("trace cache poisoned").get(key).copied().unwrap_or(0)
     }
@@ -130,12 +163,13 @@ impl TraceCache {
         self.slots.lock().expect("trace cache poisoned").clear();
     }
 
-    /// Number of cached traces.
+    /// Number of cached build outcomes (compiled traces plus negatively
+    /// cached failures).
     pub fn len(&self) -> usize {
         self.slots.lock().expect("trace cache poisoned").len()
     }
 
-    /// Whether the cache holds no traces.
+    /// Whether the cache holds no build outcomes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -227,6 +261,26 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(cache.compile_count(&key), 2);
         assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn failed_builds_are_negatively_cached() {
+        use crate::UnknownDataset;
+        let cache = TraceCache::new();
+        let key = TraceKey::new("broken", 1, 0.5);
+        let builds = AtomicU64::new(0);
+        let build = || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Err(UnknownDataset { name: "NuScenes".into() }.into())
+        };
+        let first = cache.try_get_or_build(&key, build).unwrap_err();
+        let second = cache.try_get_or_build(&key, build).unwrap_err();
+        assert_eq!(first, second, "both lookups return the cached error");
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "failed build runs once");
+        assert_eq!(cache.compile_count(&key), 1);
+        // A different key still compiles normally.
+        let ok = cache.try_get_or_build(&TraceKey::new("fine", 1, 0.5), || Ok(tiny_trace("fine")));
+        assert_eq!(ok.unwrap().network, "fine");
     }
 
     #[test]

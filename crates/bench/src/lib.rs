@@ -16,23 +16,82 @@ pub mod harness;
 pub mod serve;
 
 use pointacc_data::Dataset;
-use pointacc_nn::{zoo::Benchmark, ExecMode, Executor, NetworkTrace, TraceKey};
+use pointacc_nn::{zoo::Benchmark, ExecError, ExecMode, Executor, NetworkTrace, TraceKey};
 
 /// Default seed list of the statistical figure binaries: every reported
 /// number aggregates these dataset seeds into mean ± 95 % CI (seed 42
 /// first, so single-seed runs stay comparable with older output).
 pub const SEEDS: [u64; 3] = [42, 43, 44];
 
-/// Resolves a Table 2 dataset name to the generator enum.
-///
-/// # Panics
-///
-/// Panics on an unknown dataset name.
-pub fn dataset_by_name(name: &str) -> Dataset {
+/// A dataset name that matches none of the Table 2 generators. The
+/// `Display` message lists every available dataset, so figure binaries
+/// can print it verbatim as usage help.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownDataset {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let available: Vec<&str> = Dataset::ALL.into_iter().map(|d| d.name()).collect();
+        write!(f, "unknown dataset `{}` (available: {})", self.name, available.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownDataset {}
+
+/// Why a benchmark trace could not be built: either the benchmark names
+/// a dataset no generator covers, or the executor rejected the
+/// network/input combination.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceBuildError {
+    /// The benchmark's dataset name resolved to no generator.
+    UnknownDataset(UnknownDataset),
+    /// The executor rejected the network (see [`ExecError`]).
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for TraceBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceBuildError::UnknownDataset(e) => e.fmt(f),
+            TraceBuildError::Exec(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TraceBuildError {}
+
+impl From<UnknownDataset> for TraceBuildError {
+    fn from(e: UnknownDataset) -> Self {
+        TraceBuildError::UnknownDataset(e)
+    }
+}
+
+impl From<ExecError> for TraceBuildError {
+    fn from(e: ExecError) -> Self {
+        TraceBuildError::Exec(e)
+    }
+}
+
+/// Resolves a Table 2 dataset name to the generator enum, or an
+/// [`UnknownDataset`] whose message lists the available names.
+pub fn dataset_by_name(name: &str) -> Result<Dataset, UnknownDataset> {
     Dataset::ALL
         .into_iter()
         .find(|d| d.name() == name)
-        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+        .ok_or_else(|| UnknownDataset { name: name.to_string() })
+}
+
+/// [`dataset_by_name`] for figure binaries: prints the error (which
+/// lists the available datasets) and exits with status 2 on an unknown
+/// name.
+pub fn dataset_or_exit(name: &str) -> Dataset {
+    dataset_by_name(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 /// Point-count scale factor from `POINTACC_SCALE` (default 1.0). Set
@@ -58,14 +117,30 @@ pub fn benchmark_trace(bench: &Benchmark, seed: u64) -> NetworkTrace {
 }
 
 /// [`benchmark_trace`] with an explicit point-count scale factor.
+///
+/// # Panics
+///
+/// Panics with the [`TraceBuildError`] message on a malformed benchmark;
+/// serving paths should call [`try_benchmark_trace_at`] instead.
 pub fn benchmark_trace_at(bench: &Benchmark, seed: u64, scale: f64) -> NetworkTrace {
-    let ds = dataset_by_name(bench.dataset);
+    try_benchmark_trace_at(bench, seed, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`benchmark_trace_at`] with the failure modes surfaced as a typed
+/// [`TraceBuildError`] instead of a panic — the entry point the serving
+/// layer uses so a malformed request cannot poison a worker thread.
+pub fn try_benchmark_trace_at(
+    bench: &Benchmark,
+    seed: u64,
+    scale: f64,
+) -> Result<NetworkTrace, TraceBuildError> {
+    let ds = dataset_by_name(bench.dataset)?;
     let n = ((bench.network.default_points() as f64 * scale) as usize).max(64);
     let pts = ds.generate(seed, n);
-    let mut trace = Executor::new(ExecMode::TraceOnly, seed).run(&bench.network, &pts);
+    let mut trace = Executor::new(ExecMode::TraceOnly, seed).try_run(&bench.network, &pts)?;
     trace.trace.network = bench.notation.to_string();
     trace.trace.input_desc = format!("{} ({n} pts)", bench.dataset);
-    trace.trace
+    Ok(trace.trace)
 }
 
 /// The cache key of one benchmark trace at `seed` and `scale`.
@@ -196,13 +271,33 @@ mod tests {
     #[test]
     fn dataset_lookup_by_table2_names() {
         for b in pointacc_nn::zoo::benchmarks() {
-            let _ = dataset_by_name(b.dataset);
+            dataset_by_name(b.dataset).unwrap();
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown dataset")]
-    fn unknown_dataset_panics() {
-        let _ = dataset_by_name("NuScenes");
+    fn unknown_dataset_lists_available_names() {
+        let err = dataset_by_name("NuScenes").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown dataset `NuScenes`"), "{msg}");
+        for d in pointacc_data::Dataset::ALL {
+            assert!(msg.contains(d.name()), "{msg} missing {}", d.name());
+        }
+    }
+
+    #[test]
+    fn malformed_benchmark_surfaces_exec_error() {
+        use pointacc_nn::{Domain, Network, Op};
+        let bench = Benchmark {
+            notation: "Broken",
+            application: "Segmentation",
+            dataset: "S3DIS",
+            network: Network::new("broken", Domain::VoxelBased, 4)
+                .with_voxel_size(0.1)
+                .push(Op::SparseConvTr { out_ch: 8, kernel_size: 2 }),
+        };
+        let err = try_benchmark_trace_at(&bench, 42, 0.05).unwrap_err();
+        assert!(matches!(err, TraceBuildError::Exec(_)), "{err:?}");
+        assert!(err.to_string().contains("skip stack is empty"), "{err}");
     }
 }

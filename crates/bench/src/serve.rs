@@ -13,7 +13,9 @@
 //!   engine shard, pulling whichever request is next (work-stealing by
 //!   construction — a shared queue balances skewed benchmarks);
 //! - [`ServeReport`], the aggregate: requests/s, points/s, queue-latency
-//!   percentiles and the trace-cache hit rate.
+//!   percentiles, the trace-cache hit rate, and the count (plus sampled
+//!   messages) of failed requests — a malformed request is counted and
+//!   reported, never allowed to take down a worker thread.
 //!
 //! ```
 //! use pointacc::{Accelerator, Engine, PointAccConfig};
@@ -42,8 +44,8 @@ use std::time::{Duration, Instant};
 use pointacc::Engine;
 use pointacc_nn::zoo::Benchmark;
 
-use crate::benchmark_trace_at;
 use crate::cache::{CacheStats, TraceCache};
+use crate::try_benchmark_trace_at;
 use pointacc_nn::TraceKey;
 
 /// One inference request: a benchmark (index into the server's
@@ -163,6 +165,14 @@ pub struct ServeReport {
     /// Requests skipped because the assigned engine shard does not
     /// support the benchmark.
     pub unsupported: usize,
+    /// Requests rejected as invalid (out-of-range benchmark index, or a
+    /// benchmark whose trace cannot be built). Each failure is counted
+    /// here and sampled in [`ServeReport::failures`]; the worker that
+    /// hit it keeps serving.
+    pub failed: usize,
+    /// Error messages of the first [`MAX_FAILURE_SAMPLES`] failed
+    /// requests (in completion order), for diagnostics.
+    pub failures: Vec<String>,
     /// Input points across completed requests.
     pub points: u64,
     /// Wall-clock time from first enqueue to last completion.
@@ -190,20 +200,34 @@ impl ServeReport {
     }
 }
 
-/// One completed request as recorded by a worker.
+/// How many failed-request messages [`ServeReport::failures`] retains.
+pub const MAX_FAILURE_SAMPLES: usize = 16;
+
+/// How one request ended, as recorded by a worker.
+enum Outcome {
+    Done,
+    Unsupported,
+    Failed(String),
+}
+
+/// One finished request as recorded by a worker.
 struct Completion {
     engine: usize,
     queue_latency: Duration,
     points: u64,
-    supported: bool,
+    outcome: Outcome,
 }
 
 /// Drains `requests` through a bounded queue fanned out to
 /// `options.workers_per_engine` workers per engine shard, amortizing
 /// trace compilation through a run-private [`TraceCache`].
 ///
-/// Requests naming an out-of-range benchmark index panic; unsupported
-/// (engine, benchmark) combinations are counted, not evaluated.
+/// Invalid requests — an out-of-range benchmark index, or a benchmark
+/// whose trace cannot be built ([`crate::TraceBuildError`]) — are
+/// counted into [`ServeReport::failed`] with the message sampled in
+/// [`ServeReport::failures`]; the worker keeps draining the queue.
+/// Unsupported (engine, benchmark) combinations are counted, not
+/// evaluated.
 ///
 /// # Panics
 ///
@@ -247,20 +271,32 @@ pub fn serve(
                 let _close_on_exit = CloseOnExit(queue);
                 while let Some((req, enqueued)) = queue.pop() {
                     let queue_latency = enqueued.elapsed();
-                    let bench = &benchmarks[req.benchmark];
-                    let key = TraceKey::new(bench.notation, req.seed, options.scale);
-                    let trace = cache
-                        .get_or_build(&key, || benchmark_trace_at(bench, req.seed, options.scale));
-                    let supported = engine.supports(&trace);
-                    let points = if supported {
-                        let report = engine.evaluate(&trace);
-                        debug_assert!(report.is_physical());
-                        trace.input_points() as u64
-                    } else {
-                        0
+                    let built = match benchmarks.get(req.benchmark) {
+                        None => Err(format!(
+                            "request names unknown benchmark index {} ({} benchmarks served)",
+                            req.benchmark,
+                            benchmarks.len()
+                        )),
+                        Some(bench) => {
+                            let key = TraceKey::new(bench.notation, req.seed, options.scale);
+                            cache
+                                .try_get_or_build(&key, || {
+                                    try_benchmark_trace_at(bench, req.seed, options.scale)
+                                })
+                                .map_err(|e| e.to_string())
+                        }
+                    };
+                    let (points, outcome) = match built {
+                        Err(msg) => (0, Outcome::Failed(msg)),
+                        Ok(trace) if engine.supports(&trace) => {
+                            let report = engine.evaluate(&trace);
+                            debug_assert!(report.is_physical());
+                            (trace.input_points() as u64, Outcome::Done)
+                        }
+                        Ok(_) => (0, Outcome::Unsupported),
                     };
                     if tx
-                        .send(Completion { engine: engine_idx, queue_latency, points, supported })
+                        .send(Completion { engine: engine_idx, queue_latency, points, outcome })
                         .is_err()
                     {
                         break;
@@ -275,7 +311,6 @@ pub fn serve(
         // died and closed the queue — stop producing so its panic can
         // surface through the scope join.
         for req in requests {
-            assert!(req.benchmark < benchmarks.len(), "request names unknown benchmark");
             if !queue.push((req, Instant::now())) {
                 break;
             }
@@ -290,19 +325,30 @@ pub fn serve(
     let mut per_engine: Vec<(String, usize)> = engines.iter().map(|e| (e.name(), 0)).collect();
     let mut completed = 0;
     let mut unsupported = 0;
+    let mut failed = 0;
+    let mut failures = Vec::new();
     let mut points = 0;
-    for c in &completions {
-        if c.supported {
-            completed += 1;
-            points += c.points;
-            per_engine[c.engine].1 += 1;
-        } else {
-            unsupported += 1;
+    for c in completions {
+        match c.outcome {
+            Outcome::Done => {
+                completed += 1;
+                points += c.points;
+                per_engine[c.engine].1 += 1;
+            }
+            Outcome::Unsupported => unsupported += 1,
+            Outcome::Failed(msg) => {
+                failed += 1;
+                if failures.len() < MAX_FAILURE_SAMPLES {
+                    failures.push(msg);
+                }
+            }
         }
     }
     ServeReport {
         completed,
         unsupported,
+        failed,
+        failures,
         points,
         wall,
         queue_p50: percentile(&latencies, 50.0),
@@ -383,6 +429,8 @@ mod tests {
         );
         assert_eq!(report.completed, n);
         assert_eq!(report.unsupported, 0);
+        assert_eq!(report.failed, 0);
+        assert!(report.failures.is_empty());
         assert!(report.points > 0);
         assert!(report.requests_per_s() > 0.0);
         assert!(report.points_per_s() > 0.0);
@@ -422,6 +470,61 @@ mod tests {
             requests,
             ServeOptions { queue_capacity: 2, scale: 0.05, ..ServeOptions::default() },
         );
+    }
+
+    #[test]
+    fn invalid_requests_fail_without_hanging_the_queue() {
+        use pointacc_nn::zoo::Benchmark;
+        use pointacc_nn::{Domain, Network, Op};
+        let full = Accelerator::new(PointAccConfig::full());
+        let mut benchmarks: Vec<_> =
+            zoo::benchmarks().into_iter().filter(|b| b.notation == "PointNet").collect();
+        // A benchmark whose network pops an empty skip stack: its trace
+        // can never be built.
+        benchmarks.push(Benchmark {
+            notation: "Broken",
+            application: "Segmentation",
+            dataset: "S3DIS",
+            network: Network::new("broken", Domain::VoxelBased, 4)
+                .with_voxel_size(0.1)
+                .push(Op::SparseConvTr { out_ch: 8, kernel_size: 2 }),
+        });
+        // Interleave valid requests, out-of-range indices, and the
+        // unbuildable benchmark — far more than the queue capacity, so a
+        // dead worker would deadlock the producer.
+        let requests: Vec<Request> = (0..8)
+            .flat_map(|i| {
+                [
+                    Request { benchmark: 0, seed: 42 },
+                    Request { benchmark: 99, seed: i },
+                    Request { benchmark: 1, seed: 42 },
+                ]
+            })
+            .collect();
+        let report = serve(
+            &[&full as &dyn Engine],
+            &benchmarks,
+            requests,
+            ServeOptions { queue_capacity: 2, scale: 0.05, ..ServeOptions::default() },
+        );
+        assert_eq!(report.completed, 8, "valid requests still complete");
+        assert_eq!(report.failed, 16, "both failure kinds are counted");
+        assert!(!report.failures.is_empty());
+        assert!(report.failures.len() <= MAX_FAILURE_SAMPLES);
+        assert!(
+            report.failures.iter().any(|m| m.contains("unknown benchmark index 99")),
+            "{:?}",
+            report.failures
+        );
+        assert!(
+            report.failures.iter().any(|m| m.contains("skip stack is empty")),
+            "{:?}",
+            report.failures
+        );
+        // One miss for PointNet@42, one for the unbuildable trace (which
+        // then keeps failing from the negative cache); out-of-range
+        // indices never reach the cache.
+        assert_eq!(report.cache.misses, 2);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod golden;
 pub use cloud::{PointSet, VoxelCloud};
 pub use coord::Coord;
 pub use feature::FeatureMatrix;
-pub use maps::{MapEntry, MapTable};
+pub use maps::{KernelMap, MapEntry, MapTable};
 pub use point::Point3;

@@ -4,6 +4,13 @@
 //! index)` (paper §2). Point cloud convolution iterates over the maps,
 //! multiplies the input feature by the weight matrix selected by the weight
 //! index and aggregates the partial sum into the output point.
+//!
+//! [`KernelMap`] packages a [`MapTable`] together with the geometry it
+//! connects — the exact form the gather–GEMM–scatter executor consumes
+//! for SparseConv layers (unit stride, stride-`s` downsampling, and
+//! transposed upsampling on the decoder path).
+
+use crate::{golden, VoxelCloud};
 
 /// One `(input, output, weight)` map tuple.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -142,6 +149,112 @@ impl MapTable {
     }
 }
 
+/// The complete kernel map of one sparse convolution layer: the
+/// [`MapTable`] plus the geometry it connects, so consumers can bounds-
+/// check gathers and scatters without re-deriving cloud sizes.
+///
+/// Constructors cover the three shapes a MinkowskiNet-style U-Net needs:
+/// [`KernelMap::unit_stride`] (encoder/decoder body convs),
+/// [`KernelMap::downsample`] (stride-`s` encoder stages, which also
+/// produce the coarser output cloud), and [`KernelMap::transposed`]
+/// (decoder upsampling: the forward fine→coarse map transposed).
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::{Coord, KernelMap, VoxelCloud};
+/// let cloud = VoxelCloud::from_unsorted(
+///     vec![Coord::new(0, 0, 0), Coord::new(1, 0, 0), Coord::new(3, 1, 0)],
+///     1,
+/// );
+/// let km = KernelMap::unit_stride(&cloud, 3);
+/// assert_eq!(km.kernel_volume(), 27);
+/// assert_eq!((km.n_in(), km.n_out()), (3, 3));
+/// // Every voxel maps onto itself through the center offset.
+/// assert!(km.table().len() >= cloud.len());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelMap {
+    table: MapTable,
+    n_in: usize,
+    n_out: usize,
+    kernel_volume: usize,
+}
+
+impl KernelMap {
+    fn new(table: MapTable, n_in: usize, n_out: usize, kernel_volume: usize) -> Self {
+        let km = KernelMap { table, n_in, n_out, kernel_volume };
+        debug_assert!(km.is_within_bounds(), "kernel map references out-of-range points");
+        km
+    }
+
+    /// Maps of a stride-1 convolution: input and output share `cloud`'s
+    /// coordinates, so every voxel maps onto itself through the center
+    /// offset (odd kernels) plus one map per occupied neighbor offset.
+    pub fn unit_stride(cloud: &VoxelCloud, kernel_size: usize) -> Self {
+        let table = golden::kernel_map_hash(cloud, cloud, kernel_size);
+        KernelMap::new(table, cloud.len(), cloud.len(), kernel_size.pow(3))
+    }
+
+    /// Maps of a stride-`stride` downsampling convolution: quantizes
+    /// `cloud` to the coarser lattice, then maps every input voxel into
+    /// the output cell it falls in. Returns the coarse cloud alongside
+    /// the maps (the executor threads it to the next layer).
+    pub fn downsample(cloud: &VoxelCloud, kernel_size: usize, stride: i32) -> (VoxelCloud, Self) {
+        let (coarse, _) = cloud.downsample(stride);
+        let table = golden::kernel_map_hash(cloud, &coarse, kernel_size);
+        let km = KernelMap::new(table, cloud.len(), coarse.len(), kernel_size.pow(3));
+        (coarse, km)
+    }
+
+    /// Maps of the transposed (upsampling) convolution from `coarse`
+    /// back onto `fine`: exactly the forward `fine → coarse` map with
+    /// inputs/outputs swapped and the weight index mirrored — the
+    /// decoder counterpart of [`KernelMap::downsample`].
+    pub fn transposed(fine: &VoxelCloud, coarse: &VoxelCloud, kernel_size: usize) -> Self {
+        let table = golden::kernel_map_hash(fine, coarse, kernel_size).transpose();
+        KernelMap::new(table, coarse.len(), fine.len(), kernel_size.pow(3))
+    }
+
+    /// The underlying map table, grouped by weight index.
+    pub fn table(&self) -> &MapTable {
+        &self.table
+    }
+
+    /// Consumes the kernel map, yielding the table (for traces that own
+    /// their maps).
+    pub fn into_table(self) -> MapTable {
+        self.table
+    }
+
+    /// Input cloud size every `input` index is bounded by.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output cloud size every `output` index is bounded by.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Number of weight matrices (`kernel_size³`).
+    pub fn kernel_volume(&self) -> usize {
+        self.kernel_volume
+    }
+
+    /// Whether every map entry stays inside the declared cloud sizes and
+    /// kernel volume — the invariant the gather–GEMM–scatter executor
+    /// relies on to index feature rows without bounds failures.
+    pub fn is_within_bounds(&self) -> bool {
+        self.table.n_weights() == self.kernel_volume
+            && self.table.entries().iter().all(|e| {
+                (e.input as usize) < self.n_in
+                    && (e.output as usize) < self.n_out
+                    && (e.weight as usize) < self.kernel_volume
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +315,61 @@ mod tests {
     #[should_panic(expected = "weight index out of range")]
     fn weight_out_of_range_rejected() {
         let _ = MapTable::from_entries(vec![MapEntry::new(0, 0, 5)], 2);
+    }
+
+    mod kernel_map {
+        use super::*;
+        use crate::Coord;
+
+        fn cloud() -> VoxelCloud {
+            let cs = [(1, 1, 0), (2, 2, 0), (2, 4, 0), (3, 2, 0), (4, 3, 0)];
+            VoxelCloud::from_unsorted(cs.iter().map(|&c| Coord::from(c)).collect(), 1)
+        }
+
+        #[test]
+        fn unit_stride_is_self_map_at_center() {
+            let c = cloud();
+            let km = KernelMap::unit_stride(&c, 3);
+            assert_eq!((km.n_in(), km.n_out(), km.kernel_volume()), (5, 5, 27));
+            assert!(km.is_within_bounds());
+            // Center offset of a 3³ kernel maps every voxel to itself.
+            let center = km.table().group(13);
+            assert_eq!(center.len(), c.len());
+            assert!(center.iter().all(|e| e.input == e.output));
+        }
+
+        #[test]
+        fn downsample_covers_every_input_once() {
+            let c = cloud();
+            let (coarse, km) = KernelMap::downsample(&c, 2, 2);
+            assert_eq!(km.n_in(), c.len());
+            assert_eq!(km.n_out(), coarse.len());
+            assert!(km.is_within_bounds());
+            // A kernel-2/stride-2 conv touches every input exactly once.
+            assert_eq!(km.table().len(), c.len());
+            let mut inputs: Vec<u32> = km.table().entries().iter().map(|e| e.input).collect();
+            inputs.sort_unstable();
+            inputs.dedup();
+            assert_eq!(inputs.len(), c.len());
+        }
+
+        #[test]
+        fn transposed_is_forward_map_flipped() {
+            let c = cloud();
+            let (coarse, fwd) = KernelMap::downsample(&c, 2, 2);
+            let tr = KernelMap::transposed(&c, &coarse, 2);
+            assert_eq!((tr.n_in(), tr.n_out()), (fwd.n_out(), fwd.n_in()));
+            assert!(tr.is_within_bounds());
+            assert_eq!(tr.table().transpose().canonicalized(), fwd.table().canonicalized());
+        }
+
+        #[test]
+        fn bounds_check_catches_truncated_clouds() {
+            let c = cloud();
+            let km = KernelMap::unit_stride(&c, 3);
+            let truncated =
+                KernelMap { table: km.table().clone(), n_in: 1, n_out: 1, kernel_volume: 27 };
+            assert!(!truncated.is_within_bounds());
+        }
     }
 }

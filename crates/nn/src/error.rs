@@ -1,0 +1,110 @@
+//! Typed execution errors.
+//!
+//! Every way a network/tensor combination can be malformed surfaces as an
+//! [`ExecError`] from [`Executor::try_run`](crate::Executor::try_run)
+//! instead of a panic, so serving layers can count and report bad
+//! requests without poisoning a worker thread.
+
+use std::fmt;
+
+/// Why the executor refused to run (or continue running) a network.
+///
+/// `layer` fields carry the index of the layer trace being built when the
+/// fault was detected, so a 40-op U-Net pinpoints the offending stage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The input point cloud was empty.
+    EmptyInput,
+    /// A voxel-based network was built without a voxel size.
+    MissingVoxelSize {
+        /// Name of the offending network.
+        network: String,
+    },
+    /// The configured voxel size is zero, negative, or non-finite.
+    InvalidVoxelSize {
+        /// Name of the offending network.
+        network: String,
+        /// The rejected voxel size.
+        voxel_size: f32,
+    },
+    /// An operator needed a different tensor kind than the one flowing
+    /// in (e.g. `SparseConv` on a continuous point cloud, or a `Head`
+    /// before any global pooling).
+    DomainMismatch {
+        /// Layer index at the point of failure.
+        layer: usize,
+        /// Operator name.
+        op: &'static str,
+        /// Tensor kind the operator requires.
+        expected: &'static str,
+        /// Tensor kind that was actually flowing in.
+        found: &'static str,
+    },
+    /// A decoder operator (`SparseConvTr`, `FeaturePropagation`) popped
+    /// an empty skip stack — the encoder never pushed a matching level.
+    MissingSkip {
+        /// Layer index at the point of failure.
+        layer: usize,
+        /// Operator name.
+        op: &'static str,
+    },
+    /// A decoder operator popped a skip of the wrong tensor kind (e.g. a
+    /// `SparseConvTr` finding a point-cloud skip pushed by a
+    /// `SetAbstraction`).
+    SkipMismatch {
+        /// Layer index at the point of failure.
+        layer: usize,
+        /// Operator name.
+        op: &'static str,
+        /// Tensor kind the operator requires the skip to be.
+        expected: &'static str,
+        /// Tensor kind of the popped skip.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::EmptyInput => write!(f, "cannot execute on an empty point cloud"),
+            ExecError::MissingVoxelSize { network } => {
+                write!(f, "voxel-based network `{network}` requires a voxel size")
+            }
+            ExecError::InvalidVoxelSize { network, voxel_size } => {
+                write!(f, "network `{network}` has invalid voxel size {voxel_size}")
+            }
+            ExecError::DomainMismatch { layer, op, expected, found } => {
+                write!(f, "layer {layer}: {op} requires a {expected} tensor, found {found}")
+            }
+            ExecError::MissingSkip { layer, op } => {
+                write!(f, "layer {layer}: {op} requires a matching encoder skip, but the skip stack is empty")
+            }
+            ExecError::SkipMismatch { layer, op, expected, found } => {
+                write!(f, "layer {layer}: {op} requires a {expected} skip, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_pinpoints_the_layer() {
+        let e = ExecError::MissingSkip { layer: 7, op: "SparseConvTr" };
+        let msg = e.to_string();
+        assert!(msg.contains("layer 7"), "{msg}");
+        assert!(msg.contains("SparseConvTr"), "{msg}");
+        assert!(msg.contains("skip stack is empty"), "{msg}");
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ExecError::EmptyInput);
+        assert_eq!(ExecError::EmptyInput.to_string(), "cannot execute on an empty point cloud");
+    }
+}

@@ -4,11 +4,19 @@
 //!
 //! Mapping operations use the golden algorithms of `pointacc_geom` — the
 //! same results the PointAcc mapping unit must reproduce bit-exactly.
+//! SparseConv layers execute the MinkowskiEngine-style
+//! gather–GEMM–scatter flow over [`KernelMap`]s with per-offset weights
+//! from the seeded [`WeightGen`], so [`ExecMode::Full`] yields real,
+//! reproducible features for voxel networks end to end.
+//!
+//! Malformed network/tensor combinations never panic: every fault is a
+//! typed [`ExecError`] from [`Executor::try_run`].
 
-use pointacc_geom::{golden, FeatureMatrix, MapTable, Point3, PointSet, VoxelCloud};
+use pointacc_geom::{golden, FeatureMatrix, KernelMap, MapTable, Point3, PointSet, VoxelCloud};
 
 use crate::{
-    Aggregation, ComputeKind, Domain, LayerTrace, MappingOp, Network, NetworkTrace, Op, WeightGen,
+    Aggregation, ComputeKind, Domain, ExecError, LayerTrace, MappingOp, Network, NetworkTrace, Op,
+    WeightGen,
 };
 
 /// Execution fidelity.
@@ -66,6 +74,15 @@ impl State {
         let _ = self;
         feats.rows()
     }
+
+    /// Human-readable tensor kind for error reporting.
+    fn kind(&self) -> &'static str {
+        match self {
+            State::Pts(_) => "point-cloud",
+            State::Vox(_) => "voxelized",
+            State::Global => "global",
+        }
+    }
 }
 
 struct Ctx {
@@ -84,36 +101,61 @@ impl Executor {
 
     /// Runs `net` on `points`, returning outputs and trace.
     ///
+    /// Thin compatibility wrapper over [`Executor::try_run`].
+    ///
     /// # Panics
     ///
-    /// Panics if the network is malformed (e.g. a `FeaturePropagation`
-    /// with an empty skip stack, or a voxel network without a voxel
-    /// size).
+    /// Panics with the [`ExecError`] message if the network/tensor
+    /// combination is malformed (e.g. an empty point cloud, a
+    /// `FeaturePropagation` with an empty skip stack, or a voxel network
+    /// without a voxel size). Serving paths should call
+    /// [`Executor::try_run`] instead.
     pub fn run(&self, net: &Network, points: &PointSet) -> ExecOutput {
-        assert!(!points.is_empty(), "cannot execute on an empty point cloud");
-        let (state, feats) = self.build_input(net, points);
+        self.try_run(net, points).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs `net` on `points`, returning outputs and trace, or a typed
+    /// [`ExecError`] when the network/tensor combination is malformed.
+    /// No `panic!` is reachable from op dispatch.
+    pub fn try_run(&self, net: &Network, points: &PointSet) -> Result<ExecOutput, ExecError> {
+        if points.is_empty() {
+            return Err(ExecError::EmptyInput);
+        }
+        let (state, feats) = self.build_input(net, points)?;
         let mut ctx = Ctx { state, feats, skips: Vec::new(), layers: Vec::new(), layer_idx: 0 };
         for op in net.ops() {
-            self.exec_op(op, &mut ctx);
+            self.exec_op(op, &mut ctx)?;
         }
-        ExecOutput {
+        Ok(ExecOutput {
             trace: NetworkTrace {
                 network: net.name().to_string(),
                 input_desc: format!("{} points", points.len()),
                 layers: ctx.layers,
             },
             features: ctx.feats,
-        }
+        })
     }
 
-    fn build_input(&self, net: &Network, points: &PointSet) -> (State, FeatureMatrix) {
+    fn build_input(
+        &self,
+        net: &Network,
+        points: &PointSet,
+    ) -> Result<(State, FeatureMatrix), ExecError> {
         match net.domain() {
             Domain::PointBased => {
                 let f = input_features(points.points(), net.in_ch());
-                (State::Pts(points.clone()), f)
+                Ok((State::Pts(points.clone()), f))
             }
             Domain::VoxelBased => {
-                let v = net.voxel_size().expect("voxel-based network requires a voxel size");
+                let v = net
+                    .voxel_size()
+                    .ok_or_else(|| ExecError::MissingVoxelSize { network: net.name().into() })?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(ExecError::InvalidVoxelSize {
+                        network: net.name().into(),
+                        voxel_size: v,
+                    });
+                }
                 let (vc, _) = points.voxelize(v);
                 let centers: Vec<Point3> = vc
                     .coords()
@@ -121,16 +163,22 @@ impl Executor {
                     .map(|c| Point3::new(c.x as f32 * v, c.y as f32 * v, c.z as f32 * v))
                     .collect();
                 let f = input_features(&centers, net.in_ch());
-                (State::Vox(vc), f)
+                Ok((State::Vox(vc), f))
             }
         }
     }
 
-    fn exec_op(&self, op: &Op, ctx: &mut Ctx) {
+    fn exec_op(&self, op: &Op, ctx: &mut Ctx) -> Result<(), ExecError> {
         match op {
-            Op::Mlp { dims } => self.exec_mlp(ctx, dims, "mlp", true),
+            Op::Mlp { dims } => {
+                self.exec_mlp(ctx, dims, "mlp", true);
+                Ok(())
+            }
             Op::Head { dims } => self.exec_head(ctx, dims),
-            Op::GlobalMaxPool => self.exec_global_pool(ctx),
+            Op::GlobalMaxPool => {
+                self.exec_global_pool(ctx);
+                Ok(())
+            }
             Op::SparseConv { out_ch, kernel_size, stride } => {
                 self.exec_sparse_conv(ctx, *out_ch, *kernel_size, *stride)
             }
@@ -144,6 +192,26 @@ impl Executor {
             Op::FeaturePropagation { dims } => self.exec_fp(ctx, dims),
             Op::EdgeConv { k, dims } => self.exec_edgeconv(ctx, *k, dims),
         }
+    }
+
+    /// Pops the skip pushed by the matching encoder stage, surfacing an
+    /// empty stack or a wrong-kind skip as a typed error.
+    fn pop_skip(
+        ctx: &mut Ctx,
+        op: &'static str,
+        expected: &'static str,
+    ) -> Result<(State, FeatureMatrix), ExecError> {
+        let (state, feats) =
+            ctx.skips.pop().ok_or(ExecError::MissingSkip { layer: ctx.layer_idx, op })?;
+        if state.kind() != expected {
+            return Err(ExecError::SkipMismatch {
+                layer: ctx.layer_idx,
+                op,
+                expected,
+                found: state.kind(),
+            });
+        }
+        Ok((state, feats))
     }
 
     /// Point-wise FC chain with ReLU; each FC is one fusable dense trace.
@@ -178,11 +246,15 @@ impl Executor {
         }
     }
 
-    fn exec_head(&self, ctx: &mut Ctx, dims: &[usize]) {
-        assert!(
-            matches!(ctx.state, State::Global),
-            "Head requires a pooled global feature (run GlobalMaxPool first)"
-        );
+    fn exec_head(&self, ctx: &mut Ctx, dims: &[usize]) -> Result<(), ExecError> {
+        if !matches!(ctx.state, State::Global) {
+            return Err(ExecError::DomainMismatch {
+                layer: ctx.layer_idx,
+                op: "Head",
+                expected: "global",
+                found: ctx.state.kind(),
+            });
+        }
         let n = dims.len();
         for (i, &d) in dims.iter().enumerate() {
             let in_ch = ctx.feats.cols();
@@ -211,6 +283,7 @@ impl Executor {
             });
             ctx.layer_idx += 1;
         }
+        Ok(())
     }
 
     fn exec_global_pool(&self, ctx: &mut Ctx) {
@@ -243,30 +316,42 @@ impl Executor {
         ctx.feats = pooled;
     }
 
-    fn exec_sparse_conv(&self, ctx: &mut Ctx, out_ch: usize, ks: usize, stride: usize) {
+    fn exec_sparse_conv(
+        &self,
+        ctx: &mut Ctx,
+        out_ch: usize,
+        ks: usize,
+        stride: usize,
+    ) -> Result<(), ExecError> {
         let vc = match &ctx.state {
             State::Vox(v) => v.clone(),
-            _ => panic!("SparseConv requires a voxelized tensor"),
+            other => {
+                return Err(ExecError::DomainMismatch {
+                    layer: ctx.layer_idx,
+                    op: "SparseConv",
+                    expected: "voxelized",
+                    found: other.kind(),
+                })
+            }
         };
         let mut mapping = Vec::new();
-        let out_vc = if stride > 1 {
+        let (out_vc, km) = if stride > 1 {
             // U-Net encoder: remember the finer level for the decoder.
             ctx.skips.push((State::Vox(vc.clone()), ctx.feats.clone()));
-            let (ds, _) = vc.downsample(stride as i32);
+            let (ds, km) = KernelMap::downsample(&vc, ks, stride as i32);
             mapping.push(MappingOp::Quantize { n_in: vc.len(), n_out: ds.len() });
-            ds
+            (ds, km)
         } else {
-            vc.clone()
+            (vc.clone(), KernelMap::unit_stride(&vc, ks))
         };
-        let maps = golden::kernel_map_hash(&vc, &out_vc, ks);
         mapping.push(MappingOp::KernelMap {
-            n_in: vc.len(),
-            n_out: out_vc.len(),
-            kernel_volume: ks * ks * ks,
-            n_maps: maps.len(),
+            n_in: km.n_in(),
+            n_out: km.n_out(),
+            kernel_volume: km.kernel_volume(),
+            n_maps: km.table().len(),
         });
         let in_ch = ctx.feats.cols();
-        let out = self.sparse_conv_compute(ctx, &maps, out_vc.len(), in_ch, out_ch);
+        let out = self.sparse_conv_compute(ctx, km.table(), km.n_out(), in_ch, out_ch);
         ctx.layers.push(LayerTrace {
             name: format!("{}.{}", ctx.layer_idx, if stride > 1 { "conv_down" } else { "conv" }),
             compute: ComputeKind::SparseConv,
@@ -274,7 +359,7 @@ impl Executor {
             n_out: out_vc.len(),
             in_ch,
             out_ch,
-            maps: Some(maps),
+            maps: Some(km.into_table()),
             mapping,
             aggregation: Aggregation::Sum,
             pool_group: None,
@@ -283,31 +368,42 @@ impl Executor {
         ctx.layer_idx += 1;
         ctx.state = State::Vox(out_vc);
         ctx.feats = out;
+        Ok(())
     }
 
-    fn exec_sparse_conv_tr(&self, ctx: &mut Ctx, out_ch: usize, ks: usize) {
+    fn exec_sparse_conv_tr(
+        &self,
+        ctx: &mut Ctx,
+        out_ch: usize,
+        ks: usize,
+    ) -> Result<(), ExecError> {
         let coarse = match &ctx.state {
             State::Vox(v) => v.clone(),
-            _ => panic!("SparseConvTr requires a voxelized tensor"),
+            other => {
+                return Err(ExecError::DomainMismatch {
+                    layer: ctx.layer_idx,
+                    op: "SparseConvTr",
+                    expected: "voxelized",
+                    found: other.kind(),
+                })
+            }
         };
-        let (fine_state, skip_feats) =
-            ctx.skips.pop().expect("SparseConvTr requires a matching stride-2 SparseConv skip");
+        let (fine_state, skip_feats) = Self::pop_skip(ctx, "SparseConvTr", "voxelized")?;
         let fine = match &fine_state {
             State::Vox(v) => v.clone(),
-            _ => panic!("SparseConvTr skip must be voxelized"),
+            _ => unreachable!("pop_skip checked the tensor kind"),
         };
         // Maps of the transposed conv = transpose of the forward
         // downsampling conv's maps (fine → coarse).
-        let fwd = golden::kernel_map_hash(&fine, &coarse, ks);
-        let maps = fwd.transpose();
+        let km = KernelMap::transposed(&fine, &coarse, ks);
         let mapping = vec![MappingOp::KernelMap {
             n_in: fine.len(),
             n_out: coarse.len(),
-            kernel_volume: ks * ks * ks,
-            n_maps: maps.len(),
+            kernel_volume: km.kernel_volume(),
+            n_maps: km.table().len(),
         }];
         let in_ch = ctx.feats.cols();
-        let conv_out = self.sparse_conv_compute(ctx, &maps, fine.len(), in_ch, out_ch);
+        let conv_out = self.sparse_conv_compute(ctx, km.table(), km.n_out(), in_ch, out_ch);
         // U-Net skip concatenation.
         let out = if self.mode == ExecMode::Full {
             conv_out.concat_cols(&skip_feats)
@@ -321,7 +417,7 @@ impl Executor {
             n_out: fine.len(),
             in_ch,
             out_ch,
-            maps: Some(maps),
+            maps: Some(km.into_table()),
             mapping,
             aggregation: Aggregation::Sum,
             pool_group: None,
@@ -330,6 +426,7 @@ impl Executor {
         ctx.layer_idx += 1;
         ctx.state = State::Vox(fine);
         ctx.feats = out;
+        Ok(())
     }
 
     /// Gather-matmul-scatter over one map table (functional reference for
@@ -362,10 +459,22 @@ impl Executor {
         out
     }
 
-    fn exec_sa(&self, ctx: &mut Ctx, spec: Option<(usize, f32, usize)>, dims: &[usize]) {
+    fn exec_sa(
+        &self,
+        ctx: &mut Ctx,
+        spec: Option<(usize, f32, usize)>,
+        dims: &[usize],
+    ) -> Result<(), ExecError> {
         let pts = match &ctx.state {
             State::Pts(p) => p.clone(),
-            _ => panic!("SetAbstraction requires a continuous point cloud"),
+            other => {
+                return Err(ExecError::DomainMismatch {
+                    layer: ctx.layer_idx,
+                    op: "SetAbstraction",
+                    expected: "point-cloud",
+                    found: other.kind(),
+                })
+            }
         };
         // Push the pre-abstraction level for FeaturePropagation.
         ctx.skips.push((State::Pts(pts.clone()), ctx.feats.clone()));
@@ -460,14 +569,22 @@ impl Executor {
             ctx.state = State::Global;
         }
         ctx.feats = pooled;
+        Ok(())
     }
 
-    fn exec_fp(&self, ctx: &mut Ctx, dims: &[usize]) {
-        let (fine_state, skip_feats) =
-            ctx.skips.pop().expect("FeaturePropagation requires a matching SetAbstraction skip");
+    fn exec_fp(&self, ctx: &mut Ctx, dims: &[usize]) -> Result<(), ExecError> {
+        if matches!(ctx.state, State::Vox(_)) {
+            return Err(ExecError::DomainMismatch {
+                layer: ctx.layer_idx,
+                op: "FeaturePropagation",
+                expected: "point-cloud or global",
+                found: ctx.state.kind(),
+            });
+        }
+        let (fine_state, skip_feats) = Self::pop_skip(ctx, "FeaturePropagation", "point-cloud")?;
         let fine = match &fine_state {
             State::Pts(p) => p.clone(),
-            _ => panic!("FeaturePropagation skip must be a point cloud"),
+            _ => unreachable!("pop_skip checked the tensor kind"),
         };
         let c = ctx.feats.cols();
         let (interp, maps, mapping) = match &ctx.state {
@@ -505,7 +622,7 @@ impl Executor {
                 let mapping = vec![MappingOp::Knn { n_in: coarse.len(), n_queries: fine.len(), k }];
                 (f, Some(maps), mapping)
             }
-            State::Vox(_) => panic!("FeaturePropagation requires a point-based tensor"),
+            State::Vox(_) => unreachable!("rejected above"),
         };
         let n_coarse = ctx.feats.rows();
         ctx.layers.push(LayerTrace {
@@ -530,12 +647,20 @@ impl Executor {
         };
         ctx.state = State::Pts(fine);
         self.exec_mlp(ctx, dims, "fp_mlp", true);
+        Ok(())
     }
 
-    fn exec_edgeconv(&self, ctx: &mut Ctx, k: usize, dims: &[usize]) {
+    fn exec_edgeconv(&self, ctx: &mut Ctx, k: usize, dims: &[usize]) -> Result<(), ExecError> {
         let pts = match &ctx.state {
             State::Pts(p) => p.clone(),
-            _ => panic!("EdgeConv requires a continuous point cloud"),
+            other => {
+                return Err(ExecError::DomainMismatch {
+                    layer: ctx.layer_idx,
+                    op: "EdgeConv",
+                    expected: "point-cloud",
+                    found: other.kind(),
+                })
+            }
         };
         let n = pts.len();
         let c = ctx.feats.cols();
@@ -622,6 +747,7 @@ impl Executor {
         };
         ctx.state = State::Pts(pts);
         ctx.feats = pooled;
+        Ok(())
     }
 }
 
@@ -740,5 +866,103 @@ mod tests {
     fn empty_input_rejected() {
         let net = zoo::pointnet();
         let _ = Executor::new(ExecMode::Full, 1).run(&net, &PointSet::new());
+    }
+
+    #[test]
+    fn try_run_surfaces_empty_input() {
+        let net = zoo::pointnet();
+        let err = Executor::new(ExecMode::Full, 1).try_run(&net, &PointSet::new());
+        assert_eq!(err.unwrap_err(), ExecError::EmptyInput);
+    }
+
+    #[test]
+    fn voxel_network_without_voxel_size_is_an_error() {
+        let net = Network::new("no-voxel", Domain::VoxelBased, 4).push(Op::SparseConv {
+            out_ch: 8,
+            kernel_size: 3,
+            stride: 1,
+        });
+        let err = Executor::new(ExecMode::Full, 1).try_run(&net, &cloud(16)).unwrap_err();
+        assert_eq!(err, ExecError::MissingVoxelSize { network: "no-voxel".into() });
+    }
+
+    #[test]
+    fn non_positive_voxel_size_is_an_error() {
+        for bad in [0.0f32, -0.5, f32::NAN, f32::INFINITY] {
+            let net = Network::new("bad-voxel", Domain::VoxelBased, 4).with_voxel_size(bad);
+            let err = Executor::new(ExecMode::Full, 1).try_run(&net, &cloud(16)).unwrap_err();
+            assert!(
+                matches!(err, ExecError::InvalidVoxelSize { .. }),
+                "voxel size {bad} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_conv_on_point_cloud_is_domain_mismatch() {
+        let net = Network::new("mixed", Domain::PointBased, 3).push(Op::SparseConv {
+            out_ch: 8,
+            kernel_size: 3,
+            stride: 1,
+        });
+        let err = Executor::new(ExecMode::Full, 1).try_run(&net, &cloud(16)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DomainMismatch {
+                layer: 0,
+                op: "SparseConv",
+                expected: "voxelized",
+                found: "point-cloud",
+            }
+        );
+    }
+
+    #[test]
+    fn unbalanced_decoder_is_missing_skip() {
+        // A SparseConvTr with no stride-2 SparseConv before it: the skip
+        // stack underflows, which must be a typed error, not an abort.
+        let net = Network::new("unbalanced", Domain::VoxelBased, 4)
+            .with_voxel_size(0.1)
+            .push(Op::SparseConv { out_ch: 8, kernel_size: 3, stride: 1 })
+            .push(Op::SparseConvTr { out_ch: 8, kernel_size: 2 });
+        let err = Executor::new(ExecMode::Full, 1).try_run(&net, &cloud(64)).unwrap_err();
+        assert_eq!(err, ExecError::MissingSkip { layer: 1, op: "SparseConvTr" });
+    }
+
+    #[test]
+    fn fp_without_sa_is_missing_skip() {
+        let net = Network::new("fp-only", Domain::PointBased, 3)
+            .push(Op::FeaturePropagation { dims: vec![16] });
+        let err = Executor::new(ExecMode::TraceOnly, 1).try_run(&net, &cloud(32)).unwrap_err();
+        assert_eq!(err, ExecError::MissingSkip { layer: 0, op: "FeaturePropagation" });
+    }
+
+    #[test]
+    fn head_before_pool_is_domain_mismatch() {
+        let net = Network::new("headless", Domain::PointBased, 3).push(Op::Head { dims: vec![8] });
+        let err = Executor::new(ExecMode::Full, 1).try_run(&net, &cloud(16)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DomainMismatch {
+                layer: 0,
+                op: "Head",
+                expected: "global",
+                found: "point-cloud",
+            }
+        );
+    }
+
+    #[test]
+    fn run_panics_with_the_typed_message() {
+        let net = Network::new("unbalanced", Domain::VoxelBased, 4)
+            .with_voxel_size(0.1)
+            .push(Op::SparseConvTr { out_ch: 8, kernel_size: 2 });
+        let result = std::panic::catch_unwind(|| {
+            let _ = Executor::new(ExecMode::Full, 1).run(&net, &cloud(32));
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("panic carries the error message");
+        assert!(msg.contains("SparseConvTr"), "{msg}");
+        assert!(msg.contains("skip stack is empty"), "{msg}");
     }
 }

@@ -13,7 +13,9 @@
 //! [`Executor`] runs a [`Network`] functionally and records a
 //! [`NetworkTrace`] — exact map tables and matrix shapes — which is the
 //! interface every hardware timing model in the workspace consumes.
-//! [`zoo`] provides the eight Table 2 benchmarks.
+//! [`Executor::try_run`] surfaces malformed network/tensor combinations
+//! as typed [`ExecError`]s instead of panicking. [`zoo`] provides the
+//! eight Table 2 benchmarks.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod error;
 mod exec;
 mod layer;
 mod network;
@@ -39,6 +42,7 @@ mod trace;
 mod weights;
 pub mod zoo;
 
+pub use error::ExecError;
 pub use exec::{ExecMode, ExecOutput, Executor};
 pub use layer::{Domain, Op};
 pub use network::Network;

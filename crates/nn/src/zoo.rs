@@ -110,6 +110,14 @@ pub fn minkunet(name: &str, voxel_size: f32, classes: usize, default_points: usi
     net.push(Op::Mlp { dims: vec![classes] })
 }
 
+/// MinkowskiNet — the canonical MinkowskiUNet segmentation network on
+/// ScanNet-scale indoor scans (20 classes), sized so `ExecMode::Full`
+/// runs are tractable. This is the reference network of the executor's
+/// functional-mode (gather–GEMM–scatter) coverage.
+pub fn minkowski_net() -> Network {
+    minkunet("MinkowskiNet", 0.05, 20, 40_000)
+}
+
 /// MinkowskiUNet on S3DIS — the paper's `MinkNet(i)` (indoor).
 pub fn minknet_indoor() -> Network {
     minkunet("MinkNet(i)", 0.05, 13, 80_000)
@@ -221,11 +229,12 @@ mod tests {
     #[test]
     fn minkunet_is_balanced() {
         // Every stride-2 down must have a matching transposed up.
-        let net = minknet_outdoor();
-        let downs =
-            net.ops().iter().filter(|o| matches!(o, Op::SparseConv { stride: 2, .. })).count();
-        let ups = net.ops().iter().filter(|o| matches!(o, Op::SparseConvTr { .. })).count();
-        assert_eq!(downs, ups);
+        for net in [minknet_outdoor(), minkowski_net()] {
+            let downs =
+                net.ops().iter().filter(|o| matches!(o, Op::SparseConv { stride: 2, .. })).count();
+            let ups = net.ops().iter().filter(|o| matches!(o, Op::SparseConvTr { .. })).count();
+            assert_eq!(downs, ups, "{}", net.name());
+        }
     }
 
     #[test]

@@ -42,6 +42,55 @@ fn voxel_network_preserves_resolution_through_unet() {
 }
 
 #[test]
+fn minkowski_net_full_mode_produces_nonzero_per_voxel_features() {
+    let pts = Dataset::S3dis.generate(42, 400);
+    let out = Executor::new(ExecMode::Full, 42).run(&zoo::minkowski_net(), &pts);
+    let (voxels, _) = pts.voxelize(0.05);
+    assert_eq!(out.features.rows(), voxels.len(), "U-Net restores input resolution");
+    assert_eq!(out.features.cols(), 20, "MinkowskiNet emits 20 class channels");
+    assert!(out.features.data().iter().all(|v| v.is_finite()), "features must be finite");
+    let nonzero = out.features.data().iter().filter(|&&v| v != 0.0).count();
+    assert!(
+        nonzero > 0,
+        "ExecMode::Full must compute real sparse-conv features, not the trace-only zeros"
+    );
+}
+
+#[test]
+fn minkowski_net_full_and_trace_only_produce_identical_traces() {
+    let pts = Dataset::S3dis.generate(7, 400);
+    let net = zoo::minkowski_net();
+    let full = Executor::new(ExecMode::Full, 7).run(&net, &pts);
+    let fast = Executor::new(ExecMode::TraceOnly, 7).run(&net, &pts);
+    assert_eq!(full.trace.layers.len(), fast.trace.layers.len());
+    assert_eq!(full.trace.total_macs(), fast.trace.total_macs());
+    assert_eq!(full.trace.total_maps(), fast.trace.total_maps());
+    assert_eq!(full.trace.total_mapping_ops(), fast.trace.total_mapping_ops());
+    for (a, b) in full.trace.layers.iter().zip(&fast.trace.layers) {
+        assert_eq!(
+            (a.n_in, a.n_out, a.in_ch, a.out_ch),
+            (b.n_in, b.n_out, b.in_ch, b.out_ch),
+            "{}",
+            a.name
+        );
+        assert_eq!(a.maps, b.maps, "{}: sparse kernel maps must not depend on fidelity", a.name);
+    }
+    // TraceOnly skips the arithmetic entirely.
+    assert!(fast.features.data().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn minkowski_net_features_are_seed_deterministic() {
+    let pts = Dataset::S3dis.generate(11, 300);
+    let net = zoo::minkowski_net();
+    let a = Executor::new(ExecMode::Full, 9).run(&net, &pts);
+    let b = Executor::new(ExecMode::Full, 9).run(&net, &pts);
+    assert_eq!(a.features, b.features, "same seed must be bit-identical");
+    let c = Executor::new(ExecMode::Full, 10).run(&net, &pts);
+    assert_ne!(a.features, c.features, "different weight seeds must differ");
+}
+
+#[test]
 fn systolic_functional_model_matches_reference_matmul() {
     // Shapes taken from a real SA layer of PointNet++(c).
     let a =
