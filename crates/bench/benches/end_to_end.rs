@@ -1,8 +1,8 @@
 //! Criterion end-to-end benchmarks: full trace generation + accelerator
 //! replay + baseline platform models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pointacc::{Accelerator, PointAccConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::Platform;
 use pointacc_data::Dataset;
 use pointacc_nn::{zoo, ExecMode, Executor};
@@ -25,8 +25,20 @@ fn bench_accelerator_replay(c: &mut Criterion) {
     let trace = Executor::new(ExecMode::TraceOnly, 1).run(&zoo::mini_minkunet(), &pts).trace;
     let full = Accelerator::new(PointAccConfig::full());
     let edge = Accelerator::new(PointAccConfig::edge());
+    // Wall-clock replay rate (host-dependent)…
+    g.throughput(Throughput::Elements(trace.input_points() as u64));
     g.bench_function("mini_minkunet_full", |b| b.iter(|| full.run(&trace)));
     g.bench_function("mini_minkunet_edge", |b| b.iter(|| edge.run(&trace)));
+    // …next to the simulated throughput the replay models
+    // (host-independent: the stable metric for perf PRs).
+    for engine in [&full as &dyn Engine, &edge] {
+        let report = engine.evaluate(&trace);
+        g.report_metric(
+            BenchmarkId::new("modeled", engine.name()),
+            report.points_per_s(trace.input_points()),
+            "points/s",
+        );
+    }
     g.finish();
 }
 

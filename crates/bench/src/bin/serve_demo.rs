@@ -1,8 +1,12 @@
 //! Serving-harness demo: drains a batched request stream (all eight
 //! Table 2 benchmarks × several seeds × repeated rounds — repeats are
-//! where the trace cache earns its keep) through a bounded queue fanned
-//! out over three engine shards, then prints the throughput, queue
-//! latency and cache statistics a capacity planner needs.
+//! where the trace cache earns its keep) through per-shard bounded
+//! queues over three engine shards, then prints the throughput, queue
+//! latency, utilization and cache statistics a capacity planner needs.
+//!
+//! This is the admit-everything configuration of the serving front-end
+//! (`pointacc_bench::frontend`): nothing is shed, nothing expires. Run
+//! `frontend_demo` for the admission-controlled counterpart.
 //!
 //! Scale the workload with `POINTACC_SCALE` (e.g. 0.02 for CI smoke).
 
@@ -25,7 +29,7 @@ fn main() {
     let requests: Vec<Request> = (0..rounds)
         .flat_map(|_| {
             (0..benchmarks.len())
-                .flat_map(|b| seeds.map(|seed| Request { benchmark: b, seed }))
+                .flat_map(|b| seeds.map(|seed| Request::new(b, seed)))
                 .collect::<Vec<_>>()
         })
         .collect();
@@ -43,10 +47,12 @@ fn main() {
     let report = serve(&engines, &benchmarks, requests, options);
 
     println!(
-        "drained     {} requests ({} unsupported, {} failed) in {:.3} s",
-        report.completed + report.unsupported + report.failed,
+        "drained     {} requests ({} unsupported, {} failed, {} rejected, {} expired) in {:.3} s",
+        report.submitted,
         report.unsupported,
         report.failed,
+        report.rejected,
+        report.expired,
         report.wall.as_secs_f64()
     );
     for msg in &report.failures {
@@ -68,10 +74,12 @@ fn main() {
         report.cache.misses,
         report.cache.hit_rate() * 100.0
     );
-    println!("\nPer-shard completions:");
-    for (name, n) in &report.per_engine {
-        println!("  {name:<16} {n}");
+    println!("\nPer-shard completions (modeled utilization):");
+    for ((name, n), (_, util)) in report.per_engine.iter().zip(&report.utilization_per_shard) {
+        println!("  {name:<16} {n:>4}  ({:.2}x capacity)", util);
     }
+    assert!(report.accounting_balances(), "every submitted request must be accounted for");
+    assert_eq!(report.rejected, 0, "serve admits everything");
     assert!(report.completed >= 100, "demo must drain at least 100 requests");
     assert!(report.cache.hit_rate() > 0.0, "repeated rounds must hit the cache");
 }

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod frontend;
 pub mod harness;
 pub mod serve;
 
@@ -135,12 +136,21 @@ pub fn try_benchmark_trace_at(
     scale: f64,
 ) -> Result<NetworkTrace, TraceBuildError> {
     let ds = dataset_by_name(bench.dataset)?;
-    let n = ((bench.network.default_points() as f64 * scale) as usize).max(64);
+    let n = modeled_points(bench, scale);
     let pts = ds.generate(seed, n);
     let mut trace = Executor::new(ExecMode::TraceOnly, seed).try_run(&bench.network, &pts)?;
     trace.trace.network = bench.notation.to_string();
     trace.trace.input_desc = format!("{} ({n} pts)", bench.dataset);
     Ok(trace.trace)
+}
+
+/// Input point count of `bench` at `scale` — the number
+/// [`try_benchmark_trace_at`] generates and the load unit the serving
+/// front-end's capacity model charges per request. Kept as one function
+/// so admission control can price a request **without** compiling its
+/// trace and still agree exactly with the executed workload.
+pub fn modeled_points(bench: &Benchmark, scale: f64) -> usize {
+    ((bench.network.default_points() as f64 * scale) as usize).max(64)
 }
 
 /// The cache key of one benchmark trace at `seed` and `scale`.

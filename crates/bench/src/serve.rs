@@ -3,19 +3,29 @@
 //! The paper evaluates single-inference latency; serving heavy traffic
 //! needs the opposite shape: a bounded queue of inference requests
 //! drained by sharded worker threads, with trace compilation amortized
-//! through a [`TraceCache`] and throughput — not just latency —
-//! reported. This module provides that serving loop:
+//! through a [`TraceCache`](crate::cache::TraceCache) and throughput —
+//! not just latency — reported. This module provides the serving
+//! primitives and the classic drain-everything entry point:
 //!
-//! - [`BoundedQueue`], a blocking MPSC channel with backpressure (the
-//!   producer blocks while the queue is at capacity);
-//! - [`serve`], which fans a request stream out to
-//!   `workers_per_engine × engines` workers, each worker pinned to one
-//!   engine shard, pulling whichever request is next (work-stealing by
-//!   construction — a shared queue balances skewed benchmarks);
+//! - [`BoundedQueue`], a bounded MPSC channel usable from both worlds:
+//!   blocking `push`/`pop` for worker threads, waker-registering
+//!   [`BoundedQueue::push_async`] / [`BoundedQueue::pop_async`] for the
+//!   async front-end;
+//! - [`Request`], one inference request, optionally carrying a relative
+//!   latency [`Request::deadline`];
 //! - [`ServeReport`], the aggregate: requests/s, points/s, queue-latency
-//!   percentiles, the trace-cache hit rate, and the count (plus sampled
-//!   messages) of failed requests — a malformed request is counted and
-//!   reported, never allowed to take down a worker thread.
+//!   percentiles, the trace-cache hit rate, admission-control counters
+//!   ([`ServeReport::rejected`] / [`ServeReport::expired`]) and modeled
+//!   per-shard utilization;
+//! - [`serve`], the admit-everything configuration of the
+//!   [`frontend`](crate::frontend): every request is accepted and
+//!   drained, exactly as a batch harness wants.
+//!
+//! Admission control, per-shard capacity modeling, and the [`Clock`]
+//! abstraction that makes all of this testable without sleeping live in
+//! [`crate::frontend`].
+//!
+//! [`Clock`]: crate::frontend::Clock
 //!
 //! ```
 //! use pointacc::{Accelerator, Engine, PointAccConfig};
@@ -25,8 +35,7 @@
 //! let full = Accelerator::new(PointAccConfig::full());
 //! let edge = Accelerator::new(PointAccConfig::edge());
 //! let benchmarks: Vec<_> = zoo::benchmarks().into_iter().take(2).collect();
-//! let requests: Vec<Request> =
-//!     (0..8).map(|i| Request { benchmark: i % 2, seed: 42 }).collect();
+//! let requests: Vec<Request> = (0..8).map(|i| Request::new(i % 2, 42)).collect();
 //! let report = serve(
 //!     &[&full as &dyn Engine, &edge],
 //!     &benchmarks,
@@ -34,35 +43,57 @@
 //!     ServeOptions { scale: 0.02, ..ServeOptions::default() },
 //! );
 //! assert_eq!(report.completed, 8);
+//! assert!(report.accounting_balances());
 //! assert!(report.cache.hit_rate() > 0.0);
 //! ```
 
 use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
 
 use pointacc::Engine;
 use pointacc_nn::zoo::Benchmark;
 
-use crate::cache::{CacheStats, TraceCache};
-use crate::try_benchmark_trace_at;
-use pointacc_nn::TraceKey;
+use crate::cache::CacheStats;
+use crate::frontend::{AdmissionPolicy, Frontend, FrontendOptions};
 
 /// One inference request: a benchmark (index into the server's
-/// benchmark list) and the dataset seed identifying the input cloud.
+/// benchmark list), the dataset seed identifying the input cloud, and
+/// an optional latency budget.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Index into the benchmark list the server was started with.
     pub benchmark: usize,
     /// Dataset seed of the input point cloud.
     pub seed: u64,
+    /// Latency budget relative to arrival. The front-end expires the
+    /// request — counted, never executed — when its modeled (or actual)
+    /// sojourn time exceeds the budget; `None` means the request waits
+    /// forever.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request without a deadline.
+    pub fn new(benchmark: usize, seed: u64) -> Self {
+        Request { benchmark, seed, deadline: None }
+    }
+
+    /// The same request with a latency budget relative to its arrival.
+    pub fn with_deadline(self, deadline: Duration) -> Self {
+        Request { deadline: Some(deadline), ..self }
+    }
 }
 
 /// Tuning knobs of one [`serve`] run.
 #[derive(Copy, Clone, Debug)]
 pub struct ServeOptions {
-    /// Maximum queued (not yet claimed) requests; the producer blocks
-    /// when the queue is full.
+    /// Maximum queued (not yet claimed) requests per engine shard; the
+    /// producer blocks (or, on the async path, suspends) when a shard's
+    /// queue is full.
     pub queue_capacity: usize,
     /// Worker threads per engine shard.
     pub workers_per_engine: usize,
@@ -76,9 +107,12 @@ impl Default for ServeOptions {
     }
 }
 
-/// A blocking bounded MPSC queue: `push` blocks while full, `pop`
-/// blocks while empty, `close` drains remaining items then ends the
-/// stream.
+/// A bounded MPSC queue usable from threads and futures alike: the
+/// blocking `push`/`pop` pair parks on a condvar, the `*_async` pair
+/// registers the task's waker instead. Mixed use is the intended mode —
+/// the async producer of the serving front-end pushes while blocking
+/// worker threads pop — and each pop wakes both kinds of waiters.
+/// `close` drains remaining items then ends the stream.
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     not_full: Condvar,
@@ -89,6 +123,26 @@ pub struct BoundedQueue<T> {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Tasks suspended in [`BoundedQueue::push_async`] against a full
+    /// queue, woken by `pop` / `close`.
+    push_wakers: Vec<Waker>,
+    /// Tasks suspended in [`BoundedQueue::pop_async`] against an empty
+    /// queue, woken by `push` / `close`.
+    pop_wakers: Vec<Waker>,
+}
+
+impl<T> QueueState<T> {
+    fn wake_pushers(&mut self) {
+        for w in self.push_wakers.drain(..) {
+            w.wake();
+        }
+    }
+
+    fn wake_poppers(&mut self) {
+        for w in self.pop_wakers.drain(..) {
+            w.wake();
+        }
+    }
 }
 
 impl<T> BoundedQueue<T> {
@@ -100,7 +154,12 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         BoundedQueue {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                push_wakers: Vec::new(),
+                pop_wakers: Vec::new(),
+            }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
@@ -119,7 +178,16 @@ impl<T> BoundedQueue<T> {
         }
         state.items.push_back(item);
         self.not_empty.notify_one();
+        state.wake_poppers();
         true
+    }
+
+    /// [`BoundedQueue::push`] as a future: suspends (registering the
+    /// task's waker) instead of blocking the thread while the queue is
+    /// full. Resolves to `false`, dropping the item, if the queue was
+    /// closed.
+    pub fn push_async(&self, item: T) -> PushFuture<'_, T> {
+        PushFuture { queue: self, item: Some(item) }
     }
 
     /// Dequeues the oldest item, blocking while the queue is empty.
@@ -129,6 +197,7 @@ impl<T> BoundedQueue<T> {
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
+                state.wake_pushers();
                 return Some(item);
             }
             if state.closed {
@@ -138,10 +207,20 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// [`BoundedQueue::pop`] as a future: suspends instead of blocking
+    /// while the queue is empty. Resolves to `None` once the queue is
+    /// closed and drained.
+    pub fn pop_async(&self) -> PopFuture<'_, T> {
+        PopFuture { queue: self }
+    }
+
     /// Closes the queue: queued items still drain, further pushes fail,
     /// and poppers return `None` once empty.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        state.wake_pushers();
+        state.wake_poppers();
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -157,9 +236,70 @@ impl<T> BoundedQueue<T> {
     }
 }
 
-/// Aggregate statistics of one [`serve`] run.
+/// Future returned by [`BoundedQueue::push_async`].
+pub struct PushFuture<'q, T> {
+    queue: &'q BoundedQueue<T>,
+    item: Option<T>,
+}
+
+impl<T> Unpin for PushFuture<'_, T> {}
+
+impl<T> Future for PushFuture<'_, T> {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let this = self.get_mut();
+        let mut state = this.queue.state.lock().expect("queue poisoned");
+        if state.closed {
+            this.item = None;
+            return Poll::Ready(false);
+        }
+        if state.items.len() < this.queue.capacity {
+            let item = this.item.take().expect("push future polled after completion");
+            state.items.push_back(item);
+            this.queue.not_empty.notify_one();
+            state.wake_poppers();
+            return Poll::Ready(true);
+        }
+        state.push_wakers.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`BoundedQueue::pop_async`].
+pub struct PopFuture<'q, T> {
+    queue: &'q BoundedQueue<T>,
+}
+
+impl<T> Unpin for PopFuture<'_, T> {}
+
+impl<T> Future for PopFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut state = self.queue.state.lock().expect("queue poisoned");
+        if let Some(item) = state.items.pop_front() {
+            self.queue.not_full.notify_one();
+            state.wake_pushers();
+            return Poll::Ready(Some(item));
+        }
+        if state.closed {
+            return Poll::Ready(None);
+        }
+        state.pop_wakers.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Aggregate statistics of one serving run ([`serve`] or
+/// [`Frontend::run`](crate::frontend::Frontend::run)).
 #[derive(Clone, Debug)]
 pub struct ServeReport {
+    /// Requests pulled from the request stream, whatever their fate.
+    /// Every submitted request lands in exactly one bucket:
+    /// `completed + unsupported + failed + rejected + expired`
+    /// ([`ServeReport::accounting_balances`]).
+    pub submitted: usize,
     /// Requests evaluated to completion.
     pub completed: usize,
     /// Requests skipped because the assigned engine shard does not
@@ -170,14 +310,29 @@ pub struct ServeReport {
     /// here and sampled in [`ServeReport::failures`]; the worker that
     /// hit it keeps serving.
     pub failed: usize,
+    /// Requests shed by admission control
+    /// ([`Rejected::Overloaded`](crate::frontend::Rejected::Overloaded)):
+    /// the modeled queueing delay exceeded the policy's bound, so the
+    /// request was never enqueued. Always 0 under [`serve`], which
+    /// admits everything.
+    pub rejected: usize,
+    /// Requests whose deadline could not be met — either the modeled
+    /// sojourn time already exceeded the budget at admission, or the
+    /// deadline had passed by the time a worker claimed the request.
+    /// Expired requests are counted, never executed.
+    pub expired: usize,
     /// Error messages of the first [`MAX_FAILURE_SAMPLES`] failed
     /// requests (in completion order), for diagnostics.
     pub failures: Vec<String>,
     /// Input points across completed requests.
     pub points: u64,
-    /// Wall-clock time from first enqueue to last completion.
+    /// Serving time from start to last completion, measured on the
+    /// run's [`Clock`](crate::frontend::Clock) — wall time under
+    /// [`WallClock`](crate::frontend::WallClock), simulated time under
+    /// [`SimClock`](crate::frontend::SimClock).
     pub wall: Duration,
-    /// Median time requests spent queued before a worker claimed them.
+    /// Median time requests spent queued before a worker claimed them
+    /// (on the run's clock).
     pub queue_p50: Duration,
     /// 99th-percentile queue time.
     pub queue_p99: Duration,
@@ -186,45 +341,56 @@ pub struct ServeReport {
     pub cache: CacheStats,
     /// `(engine name, completed requests)` per shard, in engine order.
     pub per_engine: Vec<(String, usize)>,
+    /// `(engine name, modeled utilization)` per shard: executed points
+    /// divided by the shard's capacity budget over the run's elapsed
+    /// clock time. 0 when the shard's capacity is unknown (zero) or no
+    /// clock time elapsed.
+    pub utilization_per_shard: Vec<(String, f64)>,
 }
 
 impl ServeReport {
-    /// Completed requests per second of wall-clock time.
+    /// Completed requests per second of elapsed clock time; 0 when no
+    /// clock time elapsed (e.g. under a never-advanced
+    /// [`SimClock`](crate::frontend::SimClock)).
     pub fn requests_per_s(&self) -> f64 {
-        self.completed as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.wall.as_secs_f64()
     }
 
-    /// Input points evaluated per second of wall-clock time.
+    /// Input points evaluated per second of elapsed clock time; 0 when
+    /// no clock time elapsed.
     pub fn points_per_s(&self) -> f64 {
-        self.points as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.points as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Whether every submitted request is accounted for in exactly one
+    /// outcome bucket — the invariant every serving run must uphold.
+    pub fn accounting_balances(&self) -> bool {
+        self.completed + self.unsupported + self.failed + self.rejected + self.expired
+            == self.submitted
     }
 }
 
 /// How many failed-request messages [`ServeReport::failures`] retains.
 pub const MAX_FAILURE_SAMPLES: usize = 16;
 
-/// How one request ended, as recorded by a worker.
-enum Outcome {
-    Done,
-    Unsupported,
-    Failed(String),
-}
-
-/// One finished request as recorded by a worker.
-struct Completion {
-    engine: usize,
-    queue_latency: Duration,
-    points: u64,
-    outcome: Outcome,
-}
-
-/// Drains `requests` through a bounded queue fanned out to
+/// Drains `requests` through per-shard bounded queues fanned out to
 /// `options.workers_per_engine` workers per engine shard, amortizing
-/// trace compilation through a run-private [`TraceCache`].
+/// trace compilation through a run-private
+/// [`TraceCache`](crate::cache::TraceCache).
 ///
-/// Invalid requests — an out-of-range benchmark index, or a benchmark
-/// whose trace cannot be built ([`crate::TraceBuildError`]) — are
-/// counted into [`ServeReport::failed`] with the message sampled in
+/// This is the admit-everything configuration of the
+/// [`Frontend`](crate::frontend::Frontend): no request is ever shed
+/// ([`ServeReport::rejected`] is always 0) and requests without
+/// deadlines never expire. Invalid requests — an out-of-range benchmark
+/// index, or a benchmark whose trace cannot be built
+/// ([`crate::TraceBuildError`]) — are counted into
+/// [`ServeReport::failed`] with the message sampled in
 /// [`ServeReport::failures`]; the worker keeps draining the queue.
 /// Unsupported (engine, benchmark) combinations are counted, not
 /// evaluated.
@@ -238,128 +404,19 @@ pub fn serve(
     requests: impl IntoIterator<Item = Request>,
     options: ServeOptions,
 ) -> ServeReport {
-    assert!(!engines.is_empty(), "serving needs at least one engine");
-    assert!(!benchmarks.is_empty(), "serving needs at least one benchmark");
-    let workers = engines.len() * options.workers_per_engine.max(1);
-    let queue: BoundedQueue<(Request, Instant)> = BoundedQueue::new(options.queue_capacity);
-    let cache = TraceCache::new();
-    let start = Instant::now();
-
-    // Closes the queue when a worker exits for any reason — crucially
-    // including a panic unwinding through `engine.evaluate`. Without it
-    // the producer could block forever in `push` against a full queue
-    // that no surviving worker will drain; closing unblocks the
-    // producer, lets the scope join, and the scope then rethrows the
-    // worker's panic. Normal worker exit only happens once the queue is
-    // already closed, so the eager close is harmless there.
-    struct CloseOnExit<'a, T>(&'a BoundedQueue<T>);
-    impl<T> Drop for CloseOnExit<'_, T> {
-        fn drop(&mut self) {
-            self.0.close();
-        }
-    }
-
-    let completions: Vec<Completion> = std::thread::scope(|scope| {
-        let (tx, rx) = std::sync::mpsc::channel::<Completion>();
-        for w in 0..workers {
-            let engine = engines[w % engines.len()];
-            let engine_idx = w % engines.len();
-            let queue = &queue;
-            let cache = &cache;
-            let tx = tx.clone();
-            scope.spawn(move || {
-                let _close_on_exit = CloseOnExit(queue);
-                while let Some((req, enqueued)) = queue.pop() {
-                    let queue_latency = enqueued.elapsed();
-                    let built = match benchmarks.get(req.benchmark) {
-                        None => Err(format!(
-                            "request names unknown benchmark index {} ({} benchmarks served)",
-                            req.benchmark,
-                            benchmarks.len()
-                        )),
-                        Some(bench) => {
-                            let key = TraceKey::new(bench.notation, req.seed, options.scale);
-                            cache
-                                .try_get_or_build(&key, || {
-                                    try_benchmark_trace_at(bench, req.seed, options.scale)
-                                })
-                                .map_err(|e| e.to_string())
-                        }
-                    };
-                    let (points, outcome) = match built {
-                        Err(msg) => (0, Outcome::Failed(msg)),
-                        Ok(trace) if engine.supports(&trace) => {
-                            let report = engine.evaluate(&trace);
-                            debug_assert!(report.is_physical());
-                            (trace.input_points() as u64, Outcome::Done)
-                        }
-                        Ok(_) => (0, Outcome::Unsupported),
-                    };
-                    if tx
-                        .send(Completion { engine: engine_idx, queue_latency, points, outcome })
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-
-        // This thread is the producer: enqueue with backpressure, then
-        // close so workers drain and exit. A failed push means a worker
-        // died and closed the queue — stop producing so its panic can
-        // surface through the scope join.
-        for req in requests {
-            if !queue.push((req, Instant::now())) {
-                break;
-            }
-        }
-        queue.close();
-        rx.into_iter().collect()
-    });
-
-    let wall = start.elapsed();
-    let mut latencies: Vec<Duration> = completions.iter().map(|c| c.queue_latency).collect();
-    latencies.sort_unstable();
-    let mut per_engine: Vec<(String, usize)> = engines.iter().map(|e| (e.name(), 0)).collect();
-    let mut completed = 0;
-    let mut unsupported = 0;
-    let mut failed = 0;
-    let mut failures = Vec::new();
-    let mut points = 0;
-    for c in completions {
-        match c.outcome {
-            Outcome::Done => {
-                completed += 1;
-                points += c.points;
-                per_engine[c.engine].1 += 1;
-            }
-            Outcome::Unsupported => unsupported += 1,
-            Outcome::Failed(msg) => {
-                failed += 1;
-                if failures.len() < MAX_FAILURE_SAMPLES {
-                    failures.push(msg);
-                }
-            }
-        }
-    }
-    ServeReport {
-        completed,
-        unsupported,
-        failed,
-        failures,
-        points,
-        wall,
-        queue_p50: percentile(&latencies, 50.0),
-        queue_p99: percentile(&latencies, 99.0),
-        cache: cache.stats(),
-        per_engine,
-    }
+    let options = FrontendOptions {
+        queue_capacity: options.queue_capacity,
+        // `serve` predates zero-worker semantics: it always drains.
+        workers_per_engine: options.workers_per_engine.max(1),
+        scale: options.scale,
+        policy: AdmissionPolicy::admit_all(),
+        capacities: None,
+    };
+    Frontend::new(engines, benchmarks, options).run(requests)
 }
 
 /// Nearest-rank percentile of sorted durations; zero for an empty set.
-fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+pub(crate) fn percentile(sorted: &[Duration], pct: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
@@ -400,6 +457,52 @@ mod tests {
     }
 
     #[test]
+    fn async_pushes_suspend_until_threaded_pops_make_room() {
+        // The serving front-end's exact mix: an async producer pushing
+        // through a full queue drained by a blocking consumer thread.
+        let queue: BoundedQueue<u32> = BoundedQueue::new(2);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(i) = queue.pop() {
+                    got.push(i);
+                }
+                got
+            });
+            futures::executor::block_on(async {
+                for i in 0..64 {
+                    assert!(queue.push_async(i).await);
+                }
+            });
+            queue.close();
+            assert_eq!(consumer.join().unwrap(), (0..64).collect::<Vec<_>>());
+        });
+        // Closed queue: the future resolves to false without suspending.
+        assert!(!futures::executor::block_on(queue.push_async(99)));
+    }
+
+    #[test]
+    fn async_pops_drain_and_observe_close() {
+        let queue: BoundedQueue<u32> = BoundedQueue::new(4);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..16 {
+                    assert!(queue.push(i));
+                }
+                queue.close();
+            });
+            let got = futures::executor::block_on(async {
+                let mut got = Vec::new();
+                while let Some(i) = queue.pop_async().await {
+                    got.push(i);
+                }
+                got
+            });
+            assert_eq!(got, (0..16).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
     fn percentiles_use_nearest_rank() {
         let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
@@ -418,7 +521,7 @@ mod tests {
             .collect();
         // 3 rounds × 2 benchmarks × 2 seeds = 12 unique keys hit 3×.
         let requests: Vec<Request> = (0..3)
-            .flat_map(|_| (0..2).flat_map(|b| [1, 2].map(|seed| Request { benchmark: b, seed })))
+            .flat_map(|_| (0..2).flat_map(|b| [1, 2].map(|seed| Request::new(b, seed))))
             .collect();
         let n = requests.len();
         let report = serve(
@@ -427,13 +530,18 @@ mod tests {
             requests,
             ServeOptions { queue_capacity: 4, workers_per_engine: 2, scale: 0.05 },
         );
+        assert_eq!(report.submitted, n);
         assert_eq!(report.completed, n);
         assert_eq!(report.unsupported, 0);
         assert_eq!(report.failed, 0);
+        assert_eq!(report.rejected, 0, "serve admits everything");
+        assert_eq!(report.expired, 0, "no request carried a deadline");
+        assert!(report.accounting_balances());
         assert!(report.failures.is_empty());
         assert!(report.points > 0);
         assert!(report.requests_per_s() > 0.0);
         assert!(report.points_per_s() > 0.0);
+        // Structural invariant — never an absolute wall-clock bound.
         assert!(report.queue_p50 <= report.queue_p99);
         // 12 requests over 4 unique (benchmark, seed) keys: 4 compiles,
         // 8 cache hits.
@@ -441,6 +549,10 @@ mod tests {
         assert_eq!(report.cache.hits, 8);
         assert_eq!(report.per_engine.len(), 2);
         assert_eq!(report.per_engine.iter().map(|(_, n)| n).sum::<usize>(), n);
+        assert_eq!(report.utilization_per_shard.len(), 2);
+        for (name, u) in &report.utilization_per_shard {
+            assert!(u.is_finite() && *u >= 0.0, "{name}: utilization {u}");
+        }
     }
 
     #[test]
@@ -448,22 +560,37 @@ mod tests {
     // "engine exploded" payload is still printed by the panic hook).
     #[should_panic(expected = "a scoped thread panicked")]
     fn worker_panics_propagate_instead_of_hanging() {
-        struct Exploding;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Survives the front-end's one calibration evaluation on the
+        // main thread, then explodes inside the worker.
+        struct Exploding(AtomicUsize);
         impl Engine for Exploding {
             fn name(&self) -> String {
                 "Exploding".into()
             }
-            fn evaluate(&self, _: &pointacc_nn::NetworkTrace) -> pointacc::EngineReport {
-                panic!("engine exploded")
+            fn evaluate(&self, trace: &pointacc_nn::NetworkTrace) -> pointacc::EngineReport {
+                if self.0.fetch_add(1, Ordering::SeqCst) > 0 {
+                    panic!("engine exploded");
+                }
+                pointacc::EngineReport {
+                    engine: self.name(),
+                    network: trace.network.clone(),
+                    mapping: pointacc::Seconds(0.0),
+                    matmul: pointacc::Seconds(1e-3),
+                    datamove: pointacc::Seconds(0.0),
+                    total: pointacc::Seconds(1e-3),
+                    energy: pointacc_sim::PicoJoules::new(1.0),
+                    dram_bytes: 0,
+                }
             }
         }
-        let engine = Exploding;
+        let engine = Exploding(AtomicUsize::new(0));
         let benchmarks: Vec<_> =
             zoo::benchmarks().into_iter().filter(|b| b.notation == "PointNet").collect();
         // More requests than queue capacity: without close-on-panic the
-        // producer would block forever against a full queue no worker
+        // producer would suspend forever against a full queue no worker
         // drains; with it, the scope join rethrows the worker's panic.
-        let requests = (0..32).map(|_| Request { benchmark: 0, seed: 42 });
+        let requests = (0..32).map(|_| Request::new(0, 42));
         let _ = serve(
             &[&engine as &dyn Engine],
             &benchmarks,
@@ -493,13 +620,7 @@ mod tests {
         // unbuildable benchmark — far more than the queue capacity, so a
         // dead worker would deadlock the producer.
         let requests: Vec<Request> = (0..8)
-            .flat_map(|i| {
-                [
-                    Request { benchmark: 0, seed: 42 },
-                    Request { benchmark: 99, seed: i },
-                    Request { benchmark: 1, seed: 42 },
-                ]
-            })
+            .flat_map(|i| [Request::new(0, 42), Request::new(99, i), Request::new(1, 42)])
             .collect();
         let report = serve(
             &[&full as &dyn Engine],
@@ -507,8 +628,10 @@ mod tests {
             requests,
             ServeOptions { queue_capacity: 2, scale: 0.05, ..ServeOptions::default() },
         );
+        assert_eq!(report.submitted, 24);
         assert_eq!(report.completed, 8, "valid requests still complete");
         assert_eq!(report.failed, 16, "both failure kinds are counted");
+        assert!(report.accounting_balances());
         assert!(!report.failures.is_empty());
         assert!(report.failures.len() <= MAX_FAILURE_SAMPLES);
         assert!(
@@ -532,7 +655,7 @@ mod tests {
         let mesorasi = Mesorasi::new();
         let minknet: Vec<_> =
             zoo::benchmarks().into_iter().filter(|b| b.notation == "MinkNet(i)").collect();
-        let requests = (0..4).map(|_| Request { benchmark: 0, seed: 42 });
+        let requests = (0..4).map(|_| Request::new(0, 42));
         let report = serve(
             &[&mesorasi as &dyn Engine],
             &minknet,
@@ -542,5 +665,6 @@ mod tests {
         assert_eq!(report.completed, 0);
         assert_eq!(report.unsupported, 4);
         assert_eq!(report.points, 0);
+        assert!(report.accounting_balances());
     }
 }

@@ -54,6 +54,16 @@ impl EngineReport {
         (self.mapping.0 / t, self.matmul.0 / t, self.datamove.0 / t)
     }
 
+    /// Modeled sustained throughput in input points per second: how
+    /// many points this engine processes per second of **simulated**
+    /// time when fed this workload back to back. The serving layer's
+    /// capacity model is built on this number — it depends only on the
+    /// modeled cycle costs, never on host wall-clock, so capacity-based
+    /// admission decisions are reproducible across machines.
+    pub fn points_per_s(&self, input_points: usize) -> f64 {
+        input_points as f64 / self.total.0.max(f64::MIN_POSITIVE)
+    }
+
     /// Whether latency and energy are finite and strictly positive —
     /// the invariant every engine must uphold on every benchmark.
     pub fn is_physical(&self) -> bool {
@@ -84,6 +94,18 @@ pub trait Engine: Sync {
     /// Implementations may panic on unsupported traces; drivers must
     /// check [`Engine::supports`] first.
     fn evaluate(&self, trace: &NetworkTrace) -> EngineReport;
+
+    /// Modeled serving capacity on `trace`'s workload: the points/s
+    /// budget one shard of this engine can sustain, derived from the
+    /// simulated cycle costs ([`EngineReport::points_per_s`]). Returns
+    /// `0.0` when the engine cannot execute the trace at all — a
+    /// zero-capacity shard advertises that it can absorb no load.
+    fn capacity_points_per_s(&self, trace: &NetworkTrace) -> f64 {
+        if !self.supports(trace) {
+            return 0.0;
+        }
+        self.evaluate(trace).points_per_s(trace.input_points())
+    }
 }
 
 impl Engine for Accelerator {
@@ -149,6 +171,41 @@ mod tests {
         assert!((m + x + d - 1.0).abs() < 1e-9, "{m} {x} {d}");
         // Component seconds must not exceed the overlapped total.
         assert!(r.mapping.0 + r.matmul.0 + r.datamove.0 <= r.total.0 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn points_per_s_is_simulated_not_wall_clock() {
+        let t = trace();
+        let acc = Accelerator::new(PointAccConfig::full());
+        let r = acc.evaluate(&t);
+        // points / simulated seconds, by definition.
+        let want = t.input_points() as f64 / r.total.0;
+        assert!((r.points_per_s(t.input_points()) - want).abs() < 1e-9);
+        assert!(want > 0.0 && want.is_finite());
+        // Identical traces give identical throughput: nothing here can
+        // depend on the host machine's clock.
+        assert_eq!(r.points_per_s(1000), acc.evaluate(&t).points_per_s(1000));
+    }
+
+    #[test]
+    fn capacity_matches_report_throughput_and_zeroes_when_unsupported() {
+        struct Refuses;
+        impl Engine for Refuses {
+            fn name(&self) -> String {
+                "Refuses".into()
+            }
+            fn supports(&self, _: &NetworkTrace) -> bool {
+                false
+            }
+            fn evaluate(&self, _: &NetworkTrace) -> EngineReport {
+                panic!("must not be evaluated: supports() is false")
+            }
+        }
+        let t = trace();
+        let acc = Accelerator::new(PointAccConfig::edge());
+        let want = acc.evaluate(&t).points_per_s(t.input_points());
+        assert!((acc.capacity_points_per_s(&t) - want).abs() < 1e-9);
+        assert_eq!(Refuses.capacity_points_per_s(&t), 0.0);
     }
 
     #[test]

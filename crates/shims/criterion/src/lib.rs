@@ -3,9 +3,16 @@
 //! The build environment has no registry access, so this in-tree shim
 //! provides the benchmark-definition surface the workspace's benches
 //! use — [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], `iter`,
-//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by
-//! a plain wall-clock timing loop (median of samples) instead of
-//! criterion's statistical machinery.
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a plain wall-clock timing loop (median of
+//! samples) instead of criterion's statistical machinery.
+//!
+//! Beyond API parity, the shim adds
+//! [`BenchmarkGroup::report_metric`]: a line for metrics the bench
+//! computed itself (e.g. an engine's *simulated* points/s from
+//! `EngineReport`), printed alongside the wall-clock rows. Wall-clock
+//! numbers vary with the host; a reported metric derived from modeled
+//! cycle costs is the stable signal perf PRs should watch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,16 +67,34 @@ impl Bencher {
     }
 }
 
+/// Work performed per benchmark iteration; when set on a group, each
+/// wall-clock row also reports a derived rate (elements/s or bytes/s).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (points, requests…).
+    Elements(u64),
+    /// Iterations move this many bytes.
+    Bytes(u64),
+}
+
 /// A named set of related benchmarks sharing a sample count.
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup {
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration work; subsequent benchmarks in the
+    /// group report a wall-clock rate next to the time per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -82,7 +107,7 @@ impl BenchmarkGroup {
         let id: BenchmarkId = id.into();
         let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
         f(&mut b);
-        report(&self.name, &id.label, b.median_ns);
+        report(&self.name, &id.label, b.median_ns, self.throughput);
         self
     }
 
@@ -93,7 +118,24 @@ impl BenchmarkGroup {
     {
         let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
         f(&mut b, input);
-        report(&self.name, &id.label, b.median_ns);
+        report(&self.name, &id.label, b.median_ns, self.throughput);
+        self
+    }
+
+    /// Prints a metric the benchmark computed itself (no timing loop) —
+    /// the channel for **stable, non-wall-clock** numbers such as an
+    /// engine's simulated points/s: identical on every host, so perf
+    /// regressions in the model show up as clean diffs.
+    pub fn report_metric(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        value: f64,
+        unit: &str,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let name =
+            if self.name.is_empty() { id.label } else { format!("{}/{}", self.name, id.label) };
+        println!("{name:<40} {value:>14.1} {unit} (modeled)");
         self
     }
 
@@ -114,7 +156,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), sample_size: 10 }
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
     }
 
     /// Runs one stand-alone benchmark.
@@ -124,15 +166,25 @@ impl Criterion {
     }
 }
 
-fn report(group: &str, label: &str, median_ns: f64) {
+fn report(group: &str, label: &str, median_ns: f64, throughput: Option<Throughput>) {
     let name = if group.is_empty() { label.to_string() } else { format!("{group}/{label}") };
-    if median_ns >= 1e6 {
-        println!("{name:<40} {:>10.3} ms/iter", median_ns / 1e6);
+    let time = if median_ns >= 1e6 {
+        format!("{:>10.3} ms/iter", median_ns / 1e6)
     } else if median_ns >= 1e3 {
-        println!("{name:<40} {:>10.3} us/iter", median_ns / 1e3);
+        format!("{:>10.3} us/iter", median_ns / 1e3)
     } else {
-        println!("{name:<40} {:>10.0} ns/iter", median_ns);
-    }
+        format!("{median_ns:>10.0} ns/iter")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.3} Melem/s", n as f64 / median_ns.max(1.0) * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.3} MiB/s", n as f64 / median_ns.max(1.0) * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {time}{rate}");
 }
 
 /// Bundles benchmark functions into one runner function.
@@ -167,6 +219,21 @@ mod tests {
         g.sample_size(3);
         let mut ran = 0u64;
         g.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn throughput_and_metric_reporting_do_not_disturb_timing() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("rates");
+        g.sample_size(2).throughput(Throughput::Elements(1024));
+        let mut ran = 0u64;
+        g.bench_function("elems", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function("bytes", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        // A self-computed metric needs no timing loop at all.
+        g.report_metric(BenchmarkId::new("modeled", "engine"), 123456.7, "points/s");
         g.finish();
         assert!(ran > 0);
     }

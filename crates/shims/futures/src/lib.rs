@@ -1,0 +1,157 @@
+//! Offline stand-in for the `futures` crate.
+//!
+//! The build environment has no registry access, so this in-tree shim
+//! provides exactly the executor surface the workspace's async serving
+//! front-end uses: [`executor::block_on`], a thread-parking waker
+//! loop, plus [`future::yield_now`] as the cooperative-scheduling
+//! primitive its tests exercise it with. Futures polled by `block_on`
+//! may be woken from other threads — the waker unparks the blocked
+//! thread — which is exactly what the serving front-end needs: worker
+//! threads draining a bounded queue wake the async producer awaiting
+//! queue capacity.
+//!
+//! No `unsafe` is required: the waker is built from [`std::task::Wake`]
+//! and the root future is pinned with [`std::pin::pin!`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Single-future executors (subset of `futures::executor`).
+pub mod executor {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+    use std::thread::Thread;
+
+    /// Wakes the executor thread by unparking it. The `notified` flag
+    /// closes the wake-before-park race: a wake that lands between a
+    /// `Pending` poll and the park is consumed instead of lost.
+    struct ThreadWaker {
+        thread: Thread,
+        notified: AtomicBool,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.notified.store(true, Ordering::SeqCst);
+            self.thread.unpark();
+        }
+    }
+
+    /// Runs `future` to completion on the calling thread, parking it
+    /// while the future is pending and relying on the waker (callable
+    /// from any thread) to resume polling.
+    pub fn block_on<F: Future>(future: F) -> F::Output {
+        let mut future = pin!(future);
+        let state = Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        });
+        let waker = Waker::from(state.clone());
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                Poll::Pending => {
+                    // Sleep only if no wake arrived since the last poll;
+                    // `park` can also wake spuriously, which just costs
+                    // an extra poll.
+                    while !state.notified.swap(false, Ordering::SeqCst) {
+                        std::thread::park();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Future combinators (subset of `futures::future`).
+pub mod future {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    /// A future that yields once ([`Poll::Pending`] with an immediate
+    /// self-wake) before completing — the cooperative-scheduling
+    /// primitive async code uses to hand the executor back to other
+    /// tasks.
+    pub fn yield_now() -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Future returned by [`yield_now`].
+    pub struct YieldNow {
+        yielded: bool,
+    }
+
+    impl Future for YieldNow {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::executor::block_on;
+    use super::future::yield_now;
+
+    #[test]
+    fn block_on_runs_a_ready_future() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_survives_yields() {
+        let out = block_on(async {
+            let mut acc = 0;
+            for i in 0..5 {
+                yield_now().await;
+                acc += i;
+            }
+            acc
+        });
+        assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn cross_thread_wakes_unpark_the_executor() {
+        use std::sync::mpsc;
+        use std::task::Poll;
+        // A future pending until another thread flips a channel: polls
+        // return Pending and hand the waker to the producer thread.
+        let (tx, rx) = mpsc::channel::<()>();
+        let (waker_tx, waker_rx) = mpsc::channel::<std::task::Waker>();
+        std::thread::spawn(move || {
+            let waker = waker_rx.recv().expect("waker handed over");
+            tx.send(()).expect("receiver alive");
+            waker.wake();
+        });
+        let mut sent_waker = false;
+        let out = block_on(std::future::poll_fn(move |cx| {
+            if !sent_waker {
+                waker_tx.send(cx.waker().clone()).expect("thread alive");
+                sent_waker = true;
+            }
+            match rx.try_recv() {
+                Ok(()) => Poll::Ready(7),
+                Err(_) => Poll::Pending,
+            }
+        }));
+        assert_eq!(out, 7);
+    }
+}
