@@ -28,10 +28,7 @@
 //! assert!(ours.is_physical());
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread;
 
 use pointacc::{Engine, EngineReport, Summary};
 use pointacc_nn::zoo::{self, Benchmark};
@@ -39,73 +36,11 @@ use pointacc_nn::NetworkTrace;
 
 use crate::{cached_benchmark_trace, geomean};
 
-/// Worker-thread count: `POINTACC_THREADS` when set, otherwise one per
-/// available core.
-///
-/// The environment is read **once** per process; later mutations are
-/// ignored. Callers that need a specific worker count (tests, tuned
-/// drivers) should use [`parallel_map_with`] instead of mutating the
-/// process environment.
-pub fn worker_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("POINTACC_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| thread::available_parallelism().map_or(4, |n| n.get()))
-    })
-}
-
-/// Runs `f` over `items` on all available cores (override with
-/// `POINTACC_THREADS`), preserving input order.
-///
-/// The unit of scheduling is one item: a shared atomic cursor hands the
-/// next index to whichever worker frees up first, so skewed workloads
-/// (MinkNet traces cost orders of magnitude more than PointNet) balance
-/// automatically.
-pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    parallel_map_with(worker_threads(), items, f)
-}
-
-/// [`parallel_map`] with an explicit worker-thread count.
-pub fn parallel_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    if items.len() <= 1 || workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let workers = workers.min(items.len());
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, U)>();
-    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() || tx.send((i, f(&items[i]))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, v) in rx {
-            slots[i] = Some(v);
-        }
-    });
-    slots.into_iter().map(|v| v.expect("every index produced")).collect()
-}
+// The scheduler itself lives in `pointacc_geom::par` so the mapping
+// backends can parallelize per-query/per-offset work with the same
+// work-stealing map the grid uses for (engine × benchmark × seed)
+// cells; re-exported here unchanged for all existing callers.
+pub use pointacc_geom::par::{parallel_map, parallel_map_with, worker_threads};
 
 /// Builds (or fetches from the process-wide trace cache) the traces of
 /// several benchmarks concurrently, in order, at the process-wide

@@ -2,7 +2,7 @@
 //! cache block sizes) and replays it through the MPU / MMU / MXU models,
 //! producing a [`RunReport`].
 
-use pointacc_nn::{ComputeKind, LayerTrace, MappingOp, NetworkTrace};
+use pointacc_nn::{ComputeKind, LayerTrace, NetworkTrace};
 use pointacc_sim::{Cycles, DramChannel, EnergyTable, PicoJoules, SramSpec};
 
 use crate::mmu::{
@@ -186,30 +186,13 @@ impl Accelerator {
 
     /// Mapping-operation cycles from the MPU's closed-form estimates
     /// (verified against the functional unit in `mpu::ops` tests).
+    ///
+    /// Each [`pointacc_nn::MappingOp`] descriptor recorded by the
+    /// executor is costed
+    /// through [`Mpu::op_cycles`] — the executed mapping work and the
+    /// modeled cycles come from the same descriptors by construction.
     pub fn mapping_cycles(&self, layer: &LayerTrace) -> Cycles {
-        let total: u64 = layer
-            .mapping
-            .iter()
-            .map(|m| match *m {
-                MappingOp::Quantize { n_in, .. } => self.mpu.quantize_cycles_estimate(n_in),
-                MappingOp::KernelMap { n_in, n_out, kernel_volume, .. } => {
-                    self.mpu.kernel_map_cycles_estimate(n_in, n_out, kernel_volume)
-                }
-                MappingOp::Fps { n_in, n_out } => self.mpu.fps_cycles_estimate(n_in, n_out),
-                MappingOp::Knn { n_in, n_queries, k }
-                | MappingOp::BallQuery { n_in, n_queries, k } => {
-                    self.mpu.knn_cycles_estimate(n_in, n_queries, k)
-                }
-                MappingOp::KnnFeature { n_in, n_queries, k, dim } => {
-                    // High-dimensional distances lengthen stage CD: the
-                    // reduction over `dim` components shares the N lanes.
-                    let extra = (n_queries as u64)
-                        * (n_in as u64 * dim as u64).div_ceil(4 * self.cfg.merger_width as u64);
-                    self.mpu.knn_cycles_estimate(n_in, n_queries, k) + extra
-                }
-            })
-            .sum();
-        Cycles::new(total)
+        Cycles::new(layer.mapping.iter().map(|m| self.mpu.op_cycles(m)).sum())
     }
 
     /// DRAM bytes of a layer under the chosen options, plus cache stats /

@@ -6,7 +6,9 @@
 //! bit-identical to the golden algorithms in `pointacc_geom::golden` —
 //! and the cycle statistics of the hardware execution.
 
+use pointacc_geom::index::dist_key;
 use pointacc_geom::{golden, Coord, MapEntry, MapTable, PointSet, VoxelCloud};
+use pointacc_nn::MappingOp;
 use pointacc_sim::SortItem;
 
 use super::rank::{RankEngine, RankStats};
@@ -314,14 +316,35 @@ impl Mpu {
     pub fn quantize_cycles_estimate(&self, n_in: usize) -> u64 {
         self.engine.sort_cycles_estimate(n_in) + (n_in as u64).div_ceil(self.width as u64)
     }
-}
 
-/// Packs a non-negative squared distance and tie-breaking index into one
-/// ascending comparator key: `(dist² bits, index)`. IEEE-754 bit patterns
-/// of non-negative floats preserve order.
-fn dist_key(d2: f32, index: u32) -> u128 {
-    debug_assert!(d2 >= 0.0, "squared distances are non-negative");
-    ((d2.to_bits() as u128) << 32) | index as u128
+    // ------------------------------------------------------------------
+    // Descriptor-driven costing.
+    // ------------------------------------------------------------------
+
+    /// Cycle estimate for one trace-level [`MappingOp`] descriptor — the
+    /// **same** descriptor the executor records while building the maps,
+    /// so the modeled cycles and the executed mapping work can never
+    /// diverge. This is the single entry point the accelerator's
+    /// per-layer costing uses.
+    pub fn op_cycles(&self, op: &MappingOp) -> u64 {
+        match *op {
+            MappingOp::Quantize { n_in, .. } => self.quantize_cycles_estimate(n_in),
+            MappingOp::KernelMap { n_in, n_out, kernel_volume, .. } => {
+                self.kernel_map_cycles_estimate(n_in, n_out, kernel_volume)
+            }
+            MappingOp::Fps { n_in, n_out } => self.fps_cycles_estimate(n_in, n_out),
+            MappingOp::Knn { n_in, n_queries, k } | MappingOp::BallQuery { n_in, n_queries, k } => {
+                self.knn_cycles_estimate(n_in, n_queries, k)
+            }
+            MappingOp::KnnFeature { n_in, n_queries, k, dim } => {
+                // High-dimensional distances lengthen stage CD: the
+                // reduction over `dim` components shares the N lanes.
+                let extra =
+                    (n_queries as u64) * (n_in as u64 * dim as u64).div_ceil(4 * self.width as u64);
+                self.knn_cycles_estimate(n_in, n_queries, k) + extra
+            }
+        }
+    }
 }
 
 #[cfg(test)]

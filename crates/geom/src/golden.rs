@@ -2,9 +2,16 @@
 //!
 //! These are straightforward CPU algorithms — hash tables, brute-force
 //! distance scans — matching the state-of-the-art CPU/GPU implementations
-//! the paper profiles (§2.1). The PointAcc mapping unit in the `pointacc`
-//! crate must produce bit-identical results to these functions; the test
-//! suites enforce that equivalence.
+//! the paper profiles (§2.1). They are the workspace's **test oracle**:
+//! the PointAcc mapping unit in the `pointacc` crate and the grid-hash
+//! [`crate::index::Indexed`] backend must both produce bit-identical
+//! results to these functions, and the test suites enforce that
+//! equivalence (`tests/mpu_equivalence.rs`, `tests/mapping_backends.rs`).
+//!
+//! Hot paths should not call this module directly: the executor, the
+//! [`crate::KernelMap`] constructors and the bench harness go through
+//! [`crate::index::MappingBackend`], which defaults to the indexed
+//! backend and keeps `golden` as the slow, auditable reference.
 
 use std::collections::HashMap;
 

@@ -1,0 +1,895 @@
+//! Grid-hash spatial indexing and the unified mapping-op backend.
+//!
+//! The golden algorithms in [`crate::golden`] are deliberately naive —
+//! O(n²) kNN scans, O(n·m) FPS — which makes them a trustworthy test
+//! oracle and a terrible hot path: trace compilation and functional
+//! execution spend almost all their time in them. This module provides
+//! the production path:
+//!
+//! - [`GridIndex`] — a uniform grid hash over continuous points with
+//!   bucketed neighbor iteration (expanding-shell kNN, AABB ball query),
+//! - [`CoordIndex`] — a hash index over a [`VoxelCloud`]'s lattice
+//!   coordinates, probed per kernel offset during map construction,
+//! - [`MappingBackend`] — one trait for every mapping operation (FPS,
+//!   kNN, ball query, kernel mapping), with two implementations:
+//!   [`Golden`] (the brute-force oracle) and [`Indexed`] (grid-hash
+//!   traversal plus per-query/per-offset parallelism via [`crate::par`]).
+//!
+//! **Both backends are bit-identical by construction** — same ranking
+//! key `(dist², index)`, same tie-breaking, same map emission order per
+//! weight group — and the equivalence is property-tested over random
+//! clouds, radii and strides in `tests/mapping_backends.rs`. Consumers
+//! (the reference executor, `KernelMap` constructors, the bench harness)
+//! default to [`Indexed`]; set `POINTACC_BACKEND=golden` to force the
+//! oracle (read once per process).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::thread;
+
+use crate::par::{parallel_map, worker_threads};
+use crate::{golden, Coord, MapEntry, MapTable, Point3, PointSet, VoxelCloud};
+
+/// Packs a non-negative squared distance and tie-breaking index into one
+/// ascending comparator key: `(dist² bits, index)`. IEEE-754 bit patterns
+/// of non-negative floats preserve order, so sorting by this key equals
+/// sorting by `(dist², index)` — the ranking key of the golden kNN, the
+/// MPU's top-k comparators, and the grid traversal below.
+pub fn dist_key(d2: f32, index: u32) -> u128 {
+    debug_assert!(d2 >= 0.0, "squared distances are non-negative");
+    ((d2.to_bits() as u128) << 32) | index as u128
+}
+
+/// [`dist_key`] hardened against non-finite input coordinates: a NaN
+/// distance (e.g. a point with a NaN coordinate, or ∞−∞) ranks **after
+/// every real distance**, so a corrupt point can never displace a real
+/// neighbor. The golden oracle panics on NaN instead; the backends are
+/// bit-identical over finite clouds (the documented contract), while
+/// the production path degrades benignly on garbage input.
+fn total_dist_key(d2: f32, index: u32) -> u128 {
+    let bits = if d2.is_nan() { u32::MAX } else { d2.to_bits() };
+    ((bits as u128) << 32) | index as u128
+}
+
+/// Work thresholds below which the indexed backend stays serial: thread
+/// spawns cost more than the loop they would split. Kernel-map probes
+/// are single hash lookups (cheap per unit of "work"), so that gate sits
+/// much higher than the distance-heavy query gate.
+const QUERY_PAR_WORK: usize = 1 << 13;
+const KERNEL_PAR_WORK: usize = 1 << 17;
+const FPS_PAR_WORK: u64 = 1 << 21;
+
+/// A uniform grid hash over a slice of continuous points.
+///
+/// Cell size is chosen from the bounding box so cells hold ~2 points on
+/// average (capped so the cell array stays O(n)); buckets are stored CSR
+/// style. Queries walk cells in expanding Chebyshev shells (kNN) or the
+/// ball's AABB (ball query) and rank candidates by [`dist_key`], so the
+/// results are identical to a brute-force scan.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::index::GridIndex;
+/// use pointacc_geom::Point3;
+///
+/// let pts: Vec<Point3> = (0..64)
+///     .map(|i| Point3::new(i as f32 * 0.25, (i % 8) as f32, 0.0))
+///     .collect();
+/// let idx = GridIndex::build(&pts);
+/// let nn = idx.knn(Point3::new(0.1, 0.0, 0.0), 3);
+/// assert_eq!(nn[0], 0); // nearest point first
+/// assert_eq!(nn.len(), 3);
+/// ```
+pub struct GridIndex<'a> {
+    points: &'a [Point3],
+    cell: f32,
+    origin: Point3,
+    dims: [usize; 3],
+    /// CSR offsets: bucket `b` is `entries[starts[b]..starts[b + 1]]`.
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Builds the index over `points` (an empty slice yields an empty,
+    /// queryable index).
+    pub fn build(points: &'a [Point3]) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return GridIndex {
+                points,
+                cell: 1.0,
+                origin: Point3::ORIGIN,
+                dims: [1, 1, 1],
+                starts: vec![0, 0],
+                entries: Vec::new(),
+            };
+        }
+        let mut min = points[0];
+        let mut max = points[0];
+        for p in points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            min.z = min.z.min(p.z);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+            max.z = max.z.max(p.z);
+        }
+        let ext = [max.x - min.x, max.y - min.y, max.z - min.z];
+        let (cell, dims) = if ext.iter().all(|e| e.is_finite()) {
+            Self::pick_cell(ext, n)
+        } else {
+            // Non-finite extent: degrade to a single bucket (brute force).
+            (1.0, [1, 1, 1])
+        };
+        let n_cells = dims[0] * dims[1] * dims[2];
+        let bucket_of = |p: &Point3| -> usize {
+            let cx = Self::axis_cell(p.x, min.x, cell).clamp(0, dims[0] as i128 - 1) as usize;
+            let cy = Self::axis_cell(p.y, min.y, cell).clamp(0, dims[1] as i128 - 1) as usize;
+            let cz = Self::axis_cell(p.z, min.z, cell).clamp(0, dims[2] as i128 - 1) as usize;
+            (cx * dims[1] + cy) * dims[2] + cz
+        };
+        // Counting sort into CSR buckets.
+        let mut starts = vec![0u32; n_cells + 1];
+        for p in points {
+            starts[bucket_of(p) + 1] += 1;
+        }
+        for b in 0..n_cells {
+            starts[b + 1] += starts[b];
+        }
+        let mut cursor = starts.clone();
+        let mut entries = vec![0u32; n];
+        for (i, p) in points.iter().enumerate() {
+            let b = bucket_of(p);
+            entries[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+        GridIndex { points, cell, origin: min, dims, starts, entries }
+    }
+
+    /// Cell size targeting ~2 points per occupied cell, grown until the
+    /// dense cell array stays O(n).
+    fn pick_cell(ext: [f32; 3], n: usize) -> (f32, [usize; 3]) {
+        let vol = ext.iter().map(|&e| e as f64).product::<f64>();
+        let mut cell = ((vol / n as f64) * 2.0).cbrt() as f32;
+        if !(cell.is_finite() && cell > 0.0) {
+            let max_ext = ext.iter().fold(0.0f32, |a, &b| a.max(b));
+            cell = max_ext / (n as f32).cbrt();
+        }
+        if !(cell.is_finite() && cell > 0.0) {
+            cell = 1.0;
+        }
+        let limit = (4 * n + 64) as f64;
+        loop {
+            let dims = ext.map(|e| ((e / cell).floor() as i64 + 1).max(1) as usize);
+            let total = dims.iter().map(|&d| d as f64).product::<f64>();
+            if total <= limit {
+                return (cell, dims);
+            }
+            cell *= 1.5;
+        }
+    }
+
+    /// The cell coordinate of `v` along one axis (unclamped; `i128` so
+    /// arithmetic on far-out queries cannot overflow).
+    fn axis_cell(v: f32, origin: f32, cell: f32) -> i128 {
+        ((v - origin) / cell).floor() as i128
+    }
+
+    /// The (unclamped) cell coordinates of a query point.
+    fn cell_of(&self, q: Point3) -> [i128; 3] {
+        [
+            Self::axis_cell(q.x, self.origin.x, self.cell),
+            Self::axis_cell(q.y, self.origin.y, self.cell),
+            Self::axis_cell(q.z, self.origin.z, self.cell),
+        ]
+    }
+
+    fn bucket(&self, x: usize, y: usize, z: usize) -> &[u32] {
+        let b = (x * self.dims[1] + y) * self.dims[2] + z;
+        &self.entries[self.starts[b] as usize..self.starts[b + 1] as usize]
+    }
+
+    /// Visits every bucket at Chebyshev cell distance exactly `r` from
+    /// `c`, clipped to the grid.
+    fn for_shell(&self, c: [i128; 3], r: i128, visit: &mut dyn FnMut(&[u32])) {
+        let d = self.dims;
+        let clip = |lo: i128, hi: i128, dim: usize| {
+            let lo = lo.max(0);
+            let hi = hi.min(dim as i128 - 1);
+            lo..=hi
+        };
+        if r == 0 {
+            if (0..3).all(|a| (0..d[a] as i128).contains(&c[a])) {
+                visit(self.bucket(c[0] as usize, c[1] as usize, c[2] as usize));
+            }
+            return;
+        }
+        // x-faces: |δx| = r.
+        for x in [c[0] - r, c[0] + r] {
+            if !(0..d[0] as i128).contains(&x) {
+                continue;
+            }
+            for y in clip(c[1] - r, c[1] + r, d[1]) {
+                for z in clip(c[2] - r, c[2] + r, d[2]) {
+                    visit(self.bucket(x as usize, y as usize, z as usize));
+                }
+            }
+        }
+        // y-faces: |δy| = r, |δx| < r.
+        for y in [c[1] - r, c[1] + r] {
+            if !(0..d[1] as i128).contains(&y) {
+                continue;
+            }
+            for x in clip(c[0] - r + 1, c[0] + r - 1, d[0]) {
+                for z in clip(c[2] - r, c[2] + r, d[2]) {
+                    visit(self.bucket(x as usize, y as usize, z as usize));
+                }
+            }
+        }
+        // z-faces: |δz| = r, |δx| < r, |δy| < r.
+        for z in [c[2] - r, c[2] + r] {
+            if !(0..d[2] as i128).contains(&z) {
+                continue;
+            }
+            for x in clip(c[0] - r + 1, c[0] + r - 1, d[0]) {
+                for y in clip(c[1] - r + 1, c[1] + r - 1, d[1]) {
+                    visit(self.bucket(x as usize, y as usize, z as usize));
+                }
+            }
+        }
+    }
+
+    /// Brute-force fallback (pathological queries, tiny inputs): scan
+    /// every point. Identical ranking key, so identical results.
+    fn brute(&self, q: Point3, k: usize, radius2: Option<f32>) -> Vec<usize> {
+        let mut keys: Vec<u128> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let d = p.dist2(q);
+                radius2.is_none_or(|r2| d <= r2).then(|| total_dist_key(d, i as u32))
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.truncate(k);
+        keys.into_iter().map(|key| (key & 0xFFFF_FFFF) as usize).collect()
+    }
+
+    /// The `k` nearest points to `q` in ascending `(dist², index)` order
+    /// (fewer than `k` when the index holds fewer points) — identical to
+    /// [`golden::k_nearest_neighbors`] on the same input.
+    pub fn knn(&self, q: Point3, k: usize) -> Vec<usize> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let c = self.cell_of(q);
+        // Distance (in cells) from the query cell to the grid box; shells
+        // closer than this are empty and skipped.
+        let r0: i128 = (0..3)
+            .map(|a| (-c[a]).max(c[a] - (self.dims[a] as i128 - 1)).max(0))
+            .max()
+            .unwrap_or(0);
+        let span = (self.dims[0] + self.dims[1] + self.dims[2]) as i128;
+        if r0 > span + 8 {
+            // Query so far outside the grid that shell walking would cost
+            // more than one full scan.
+            return self.brute(q, k, None);
+        }
+        let max_ring: i128 =
+            (0..3).map(|a| c[a].max(self.dims[a] as i128 - 1 - c[a])).max().unwrap_or(0);
+        // Max-heap of the best k candidate keys seen so far.
+        let mut heap: BinaryHeap<u128> = BinaryHeap::with_capacity(k + 1);
+        for r in r0..=max_ring.max(r0) {
+            self.for_shell(c, r, &mut |bucket| {
+                for &i in bucket {
+                    let d = self.points[i as usize].dist2(q);
+                    let key = total_dist_key(d, i);
+                    if heap.len() < k {
+                        heap.push(key);
+                    } else if *heap.peek().expect("heap holds k keys") > key {
+                        heap.pop();
+                        heap.push(key);
+                    }
+                }
+            });
+            if heap.len() == k {
+                // Points in shells ≥ r+1 are ≥ (r-1)·cell away (one cell
+                // of slack absorbs floating-point bucketing error); once
+                // that exceeds the kth distance, no candidate remains.
+                let kth_d2 = f32::from_bits((*heap.peek().expect("k > 0") >> 32) as u32);
+                let bound = ((r - 1).max(0) as f64) * self.cell as f64;
+                if bound * bound > kth_d2 as f64 {
+                    break;
+                }
+            }
+        }
+        let mut keys = heap.into_vec();
+        keys.sort_unstable();
+        keys.into_iter().map(|key| (key & 0xFFFF_FFFF) as usize).collect()
+    }
+
+    /// The ≤ `k` nearest points within squared radius `radius2`, in
+    /// ascending `(dist², index)` order — identical to
+    /// [`golden::ball_query`] on the same input.
+    pub fn ball(&self, q: Point3, radius2: f32, k: usize) -> Vec<usize> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let r = radius2.max(0.0).sqrt();
+        if !r.is_finite() {
+            return self.brute(q, k, Some(radius2));
+        }
+        // Cells overlapping the ball's AABB (computed with the same
+        // monotone cell mapping as bucketing, so no candidate escapes).
+        let clamp = |v: i128, dim: usize| v.clamp(0, dim as i128 - 1);
+        let lo = self.cell_of(Point3::new(q.x - r, q.y - r, q.z - r));
+        let hi = self.cell_of(Point3::new(q.x + r, q.y + r, q.z + r));
+        if (0..3).any(|a| hi[a] < 0 || lo[a] >= self.dims[a] as i128) {
+            return Vec::new();
+        }
+        let mut keys: Vec<u128> = Vec::new();
+        for x in clamp(lo[0], self.dims[0])..=clamp(hi[0], self.dims[0]) {
+            for y in clamp(lo[1], self.dims[1])..=clamp(hi[1], self.dims[1]) {
+                for z in clamp(lo[2], self.dims[2])..=clamp(hi[2], self.dims[2]) {
+                    for &i in self.bucket(x as usize, y as usize, z as usize) {
+                        let d = self.points[i as usize].dist2(q);
+                        if d <= radius2 {
+                            keys.push(total_dist_key(d, i));
+                        }
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.truncate(k);
+        keys.into_iter().map(|key| (key & 0xFFFF_FFFF) as usize).collect()
+    }
+}
+
+/// A hash index over a [`VoxelCloud`]'s lattice coordinates: built once
+/// per layer, probed once per (output point × kernel offset) during
+/// kernel-map construction.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_geom::index::CoordIndex;
+/// use pointacc_geom::{Coord, VoxelCloud};
+///
+/// let vc = VoxelCloud::from_unsorted(vec![Coord::new(0, 0, 0), Coord::new(2, 1, 0)], 1);
+/// let idx = CoordIndex::build(&vc);
+/// assert_eq!(idx.get(Coord::new(2, 1, 0)), Some(1));
+/// assert_eq!(idx.get(Coord::new(9, 9, 9)), None);
+/// ```
+pub struct CoordIndex {
+    map: HashMap<Coord, u32>,
+}
+
+impl CoordIndex {
+    /// Builds the index over a cloud's (unique) coordinates.
+    pub fn build(cloud: &VoxelCloud) -> Self {
+        CoordIndex { map: cloud.coords().iter().enumerate().map(|(i, &c)| (c, i as u32)).collect() }
+    }
+
+    /// Index of `c` in the cloud, if present.
+    pub fn get(&self, c: Coord) -> Option<u32> {
+        self.map.get(&c).copied()
+    }
+
+    /// Number of indexed coordinates.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One implementation of every mapping operation (paper §2.1): farthest
+/// point sampling, k-nearest-neighbors, ball query, and kernel mapping.
+///
+/// All implementations must be **bit-identical over clouds with finite
+/// coordinates**: same ranking key `(dist², index)`, FPS starting at
+/// index 0 with ties to the lowest index, kernel maps emitted per
+/// offset in output order. The equivalence suite in
+/// `tests/mapping_backends.rs` enforces this, and it is what lets the
+/// executor swap backends without perturbing traces, golden snapshots,
+/// or functional outputs. Non-finite coordinates are a caller bug and
+/// outside the contract: the [`Golden`] oracle panics on the NaN
+/// distances they produce, while [`Indexed`] ranks them after every
+/// real neighbor so production queries degrade benignly.
+pub trait MappingBackend: Sync {
+    /// Short backend name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Farthest point sampling: `m` indices in selection order, starting
+    /// at index 0, ties to the lowest index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > points.len()`.
+    fn farthest_point_sampling(&self, points: &PointSet, m: usize) -> Vec<usize>;
+
+    /// k-nearest-neighbors of every query: ≤ `k` indices per query in
+    /// ascending `(dist², index)` order.
+    fn k_nearest_neighbors(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        k: usize,
+    ) -> Vec<Vec<usize>>;
+
+    /// Ball query: like kNN but only points within squared radius
+    /// `radius2` qualify (unpadded).
+    fn ball_query(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        radius2: f32,
+        k: usize,
+    ) -> Vec<Vec<usize>>;
+
+    /// Kernel mapping between an input and an output cloud for a cubic
+    /// kernel of size `kernel_size` (offsets in [`golden::kernel_offsets`]
+    /// order, maps within each weight group in output order).
+    fn kernel_map(&self, input: &VoxelCloud, output: &VoxelCloud, kernel_size: usize) -> MapTable;
+
+    /// Ball query with PointNet++-style padding: short neighborhoods
+    /// repeat their nearest member, empty balls fall back to the global
+    /// nearest neighbor. An empty input yields empty neighborhoods (the
+    /// executor rejects empty clouds before ever padding).
+    fn ball_query_padded(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        radius2: f32,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        let mut out = self.ball_query(input, queries, radius2, k);
+        for (qi, nbrs) in out.iter_mut().enumerate() {
+            if nbrs.is_empty() {
+                let fallback = self.k_nearest_neighbors(
+                    input,
+                    &PointSet::from_points(vec![queries.point(qi)]),
+                    1,
+                );
+                nbrs.extend_from_slice(&fallback[0]);
+            }
+            let Some(&first) = nbrs.first() else { continue };
+            while nbrs.len() < k {
+                nbrs.push(first);
+            }
+        }
+        out
+    }
+}
+
+/// The brute-force oracle backend: every operation delegates to
+/// [`crate::golden`]. Slow by design; kept as the reference the
+/// [`Indexed`] backend (and the MPU hardware model) must reproduce
+/// bit-exactly.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Golden;
+
+impl MappingBackend for Golden {
+    fn name(&self) -> &'static str {
+        "golden"
+    }
+
+    fn farthest_point_sampling(&self, points: &PointSet, m: usize) -> Vec<usize> {
+        golden::farthest_point_sampling(points, m)
+    }
+
+    fn k_nearest_neighbors(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        golden::k_nearest_neighbors(input, queries, k)
+    }
+
+    fn ball_query(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        radius2: f32,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        golden::ball_query(input, queries, radius2, k)
+    }
+
+    fn kernel_map(&self, input: &VoxelCloud, output: &VoxelCloud, kernel_size: usize) -> MapTable {
+        golden::kernel_map_hash(input, output, kernel_size)
+    }
+}
+
+/// The production backend: [`GridIndex`] traversal for kNN/ball query,
+/// chunk-parallel exact FPS, [`CoordIndex`]-probed kernel maps with
+/// per-offset parallelism. Falls back to serial loops below the work
+/// thresholds where thread spawns would dominate.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Indexed;
+
+impl Indexed {
+    /// Runs `query` over every query point, parallelizing when the total
+    /// work justifies the thread spawns. Queries are handed out in
+    /// chunks (several per worker for balance) so per-item scheduling
+    /// and channel traffic stay off the per-query cost.
+    fn batch<F>(&self, input: &PointSet, queries: &PointSet, query: F) -> Vec<Vec<usize>>
+    where
+        F: Fn(&GridIndex<'_>, Point3) -> Vec<usize> + Sync,
+    {
+        let index = GridIndex::build(input.points());
+        let work = input.len().saturating_mul(queries.len());
+        if work >= QUERY_PAR_WORK && queries.len() > 1 && worker_threads() > 1 {
+            let qs = queries.points();
+            let chunk = qs.len().div_ceil(worker_threads() * 4).max(8);
+            let chunks: Vec<&[Point3]> = qs.chunks(chunk).collect();
+            parallel_map(&chunks, |c| c.iter().map(|&q| query(&index, q)).collect::<Vec<_>>())
+                .concat()
+        } else {
+            queries.points().iter().map(|&q| query(&index, q)).collect()
+        }
+    }
+}
+
+impl MappingBackend for Indexed {
+    fn name(&self) -> &'static str {
+        "indexed"
+    }
+
+    fn farthest_point_sampling(&self, points: &PointSet, m: usize) -> Vec<usize> {
+        assert!(m <= points.len(), "cannot sample {m} from {} points", points.len());
+        let n = points.len();
+        let workers = worker_threads().min(n / 2048).max(1);
+        if m == 0 || workers <= 1 || (n as u64) * (m as u64) < FPS_PAR_WORK {
+            return golden::farthest_point_sampling(points, m);
+        }
+        fps_parallel(points, m, workers)
+    }
+
+    fn k_nearest_neighbors(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        self.batch(input, queries, |index, q| index.knn(q, k))
+    }
+
+    fn ball_query(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        radius2: f32,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        self.batch(input, queries, |index, q| index.ball(q, radius2, k))
+    }
+
+    /// Same semantics as the trait default, but the ball pass and the
+    /// empty-ball nearest-neighbor fallback share one [`GridIndex`]
+    /// build instead of re-indexing per fallback query.
+    fn ball_query_padded(
+        &self,
+        input: &PointSet,
+        queries: &PointSet,
+        radius2: f32,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        self.batch(input, queries, |index, q| {
+            let mut nbrs = index.ball(q, radius2, k);
+            if nbrs.is_empty() {
+                nbrs = index.knn(q, 1);
+            }
+            if let Some(&first) = nbrs.first() {
+                while nbrs.len() < k {
+                    nbrs.push(first);
+                }
+            }
+            nbrs
+        })
+    }
+
+    fn kernel_map(&self, input: &VoxelCloud, output: &VoxelCloud, kernel_size: usize) -> MapTable {
+        let offsets = golden::kernel_offsets(kernel_size);
+        let index = CoordIndex::build(input);
+        let s = input.stride();
+        let probe = |(w, d): &(usize, Coord)| -> Vec<MapEntry> {
+            let dd = d.scale(s);
+            output
+                .coords()
+                .iter()
+                .enumerate()
+                .filter_map(|(qi, &q)| {
+                    index.get(q.offset(dd)).map(|pi| MapEntry::new(pi, qi as u32, *w as u16))
+                })
+                .collect()
+        };
+        let work = output.len().saturating_mul(offsets.len());
+        let entries: Vec<MapEntry> = if work >= KERNEL_PAR_WORK && worker_threads() > 1 {
+            let jobs: Vec<(usize, Coord)> = offsets.iter().copied().enumerate().collect();
+            parallel_map(&jobs, probe).concat()
+        } else {
+            // Serial path: emit straight into one vector (no per-offset
+            // allocations), exactly the golden loop over a shared index.
+            let mut entries = Vec::new();
+            for (w, &d) in offsets.iter().enumerate() {
+                let dd = d.scale(s);
+                for (qi, &q) in output.coords().iter().enumerate() {
+                    if let Some(pi) = index.get(q.offset(dd)) {
+                        entries.push(MapEntry::new(pi, qi as u32, w as u16));
+                    }
+                }
+            }
+            entries
+        };
+        MapTable::from_entries(entries, offsets.len())
+    }
+}
+
+/// Exact chunk-parallel farthest point sampling.
+///
+/// Each worker owns a contiguous chunk of the running min-distance
+/// array; per iteration it updates its chunk, reduces a chunk-local
+/// arg-max, and publishes it. After a barrier every worker performs the
+/// same deterministic cross-chunk reduction (strictly-greater distance
+/// wins, ties to the lowest index — encoded so `max` on the packed key
+/// implements exactly the serial scan's policy), so all workers agree on
+/// the next selected point without further communication.
+fn fps_parallel(points: &PointSet, m: usize, workers: usize) -> Vec<usize> {
+    let n = points.len();
+    let pts = points.points();
+    let chunk_len = n.div_ceil(workers);
+    let workers = n.div_ceil(chunk_len);
+    let mut dist = vec![f32::INFINITY; n];
+    // Per-worker slots: (dist bits << 32) | (u32::MAX - index), so the
+    // maximum key is the maximum distance with ties to the lowest index.
+    let slots: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(workers);
+    let mut selected = Vec::with_capacity(m);
+    selected.push(0usize);
+
+    let worker_loop = |base: usize, chunk: &mut [f32], mut record: Option<&mut Vec<usize>>| {
+        let mut current = 0usize;
+        for _ in 1..m {
+            let q = pts[current];
+            let slot = &slots[base / chunk_len];
+            let mut best_key = 0u64;
+            for (j, d) in chunk.iter_mut().enumerate() {
+                let i = base + j;
+                let nd = pts[i].dist2(q);
+                if nd < *d {
+                    *d = nd;
+                }
+                let key = ((d.to_bits() as u64) << 32) | u64::from(u32::MAX - i as u32);
+                if key > best_key {
+                    best_key = key;
+                }
+            }
+            slot.store(best_key, Ordering::SeqCst);
+            barrier.wait();
+            let global = slots
+                .iter()
+                .map(|s| s.load(Ordering::SeqCst))
+                .max()
+                .expect("at least one worker slot");
+            current = (u32::MAX - (global & 0xFFFF_FFFF) as u32) as usize;
+            if let Some(sel) = record.as_deref_mut() {
+                sel.push(current);
+            }
+            // Keep slots stable until every worker has read them.
+            barrier.wait();
+        }
+    };
+
+    thread::scope(|scope| {
+        let mut chunks = dist.chunks_mut(chunk_len);
+        let first = chunks.next().expect("n > 0");
+        for (w, chunk) in chunks.enumerate() {
+            let base = (w + 1) * chunk_len;
+            let worker_loop = &worker_loop;
+            scope.spawn(move || worker_loop(base, chunk, None));
+        }
+        worker_loop(0, first, Some(&mut selected));
+    });
+    selected
+}
+
+/// The golden oracle backend instance.
+pub static GOLDEN: Golden = Golden;
+/// The grid-hash production backend instance.
+pub static INDEXED: Indexed = Indexed;
+
+/// Resolves a backend by name (`"golden"` / `"indexed"`).
+pub fn backend_by_name(name: &str) -> Option<&'static dyn MappingBackend> {
+    match name {
+        "golden" => Some(&GOLDEN),
+        "indexed" => Some(&INDEXED),
+        _ => None,
+    }
+}
+
+/// The process-wide default backend: [`Indexed`], unless
+/// `POINTACC_BACKEND=golden` forces the oracle. The environment is read
+/// **once** per process; code that needs a specific backend should pass
+/// it explicitly (e.g. `Executor::with_backend`,
+/// `KernelMap::unit_stride_with`).
+pub fn default_backend() -> &'static dyn MappingBackend {
+    static CHOICE: std::sync::OnceLock<&'static dyn MappingBackend> = std::sync::OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        std::env::var("POINTACC_BACKEND")
+            .ok()
+            .and_then(|name| backend_by_name(&name))
+            .unwrap_or(&INDEXED)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> PointSet {
+        let mut x = seed | 1;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f32 / 50.0 - 10.0
+        };
+        (0..n).map(|_| Point3::new(step(), step(), step())).collect()
+    }
+
+    fn pseudo_cloud(n: usize, seed: u64, stride: i32) -> VoxelCloud {
+        let mut x = seed | 1;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 48) as i32 - 24) * stride
+        };
+        VoxelCloud::from_unsorted(
+            (0..n).map(|_| Coord::new(step(), step(), step())).collect(),
+            stride,
+        )
+    }
+
+    #[test]
+    fn dist_key_orders_like_floats() {
+        assert!(dist_key(0.5, 9) < dist_key(0.5, 10));
+        assert!(dist_key(0.5, 10) < dist_key(1.5, 0));
+        assert!(dist_key(0.0, 0) < dist_key(f32::MIN_POSITIVE, 0));
+    }
+
+    #[test]
+    fn grid_knn_matches_golden() {
+        let input = pseudo_points(300, 3);
+        let queries = pseudo_points(40, 7);
+        let index = GridIndex::build(input.points());
+        for k in [1usize, 3, 8, 300, 500] {
+            let want = golden::k_nearest_neighbors(&input, &queries, k);
+            for (qi, &q) in queries.points().iter().enumerate() {
+                assert_eq!(index.knn(q, k), want[qi], "k={k} query={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_ball_matches_golden() {
+        let input = pseudo_points(250, 11);
+        let queries = pseudo_points(30, 5);
+        let index = GridIndex::build(input.points());
+        for r2 in [0.01f32, 1.0, 25.0, 1e6] {
+            let want = golden::ball_query(&input, &queries, r2, 6);
+            for (qi, &q) in queries.points().iter().enumerate() {
+                assert_eq!(index.ball(q, r2, 6), want[qi], "r2={r2} query={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_degenerate_clouds() {
+        // All points identical: zero extent in every axis.
+        let same: PointSet = (0..20).map(|_| Point3::new(1.5, -2.0, 3.0)).collect();
+        let index = GridIndex::build(same.points());
+        assert_eq!(index.knn(Point3::ORIGIN, 3), vec![0, 1, 2]);
+        // Collinear points: zero extent in two axes.
+        let line: PointSet = (0..50).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let index = GridIndex::build(line.points());
+        assert_eq!(index.knn(Point3::new(10.2, 0.0, 0.0), 2), vec![10, 11]);
+        // Empty cloud.
+        let empty = GridIndex::build(&[]);
+        assert!(empty.knn(Point3::ORIGIN, 4).is_empty());
+        assert!(empty.ball(Point3::ORIGIN, 1.0, 4).is_empty());
+    }
+
+    #[test]
+    fn nan_points_rank_last_never_first() {
+        // A point with a NaN coordinate must not displace any real
+        // neighbor (NaN distances rank after every finite distance).
+        let mut pts: Vec<Point3> = (0..20).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        pts[7] = Point3::new(f32::NAN, 0.0, 0.0);
+        let index = GridIndex::build(&pts);
+        let q = Point3::new(15.0, 0.0, 0.0);
+        assert_eq!(index.knn(q, 3), vec![15, 14, 16]);
+        // The corrupt point only appears once every real point is taken.
+        assert_eq!(index.knn(q, 20).last(), Some(&7));
+        // Balls never admit a NaN distance (NaN ≤ r² is false).
+        assert!(index.ball(Point3::new(7.0, 0.0, 0.0), 4.0, 8).iter().all(|&i| i != 7));
+    }
+
+    #[test]
+    fn far_queries_fall_back_to_brute_force() {
+        let input = pseudo_points(100, 9);
+        let index = GridIndex::build(input.points());
+        let far = Point3::new(1e30, -1e30, 1e30);
+        let queries = PointSet::from_points(vec![far]);
+        assert_eq!(vec![index.knn(far, 5)], golden::k_nearest_neighbors(&input, &queries, 5));
+    }
+
+    #[test]
+    fn indexed_backend_matches_golden_end_to_end() {
+        let input = pseudo_points(220, 1);
+        let queries = pseudo_points(35, 2);
+        assert_eq!(
+            INDEXED.k_nearest_neighbors(&input, &queries, 9),
+            GOLDEN.k_nearest_neighbors(&input, &queries, 9)
+        );
+        assert_eq!(
+            INDEXED.ball_query_padded(&input, &queries, 4.0, 8),
+            GOLDEN.ball_query_padded(&input, &queries, 4.0, 8)
+        );
+        assert_eq!(
+            INDEXED.farthest_point_sampling(&input, 64),
+            GOLDEN.farthest_point_sampling(&input, 64)
+        );
+        let cloud = pseudo_cloud(150, 5, 1);
+        assert_eq!(
+            INDEXED.kernel_map(&cloud, &cloud, 3).canonicalized(),
+            GOLDEN.kernel_map(&cloud, &cloud, 3).canonicalized()
+        );
+    }
+
+    #[test]
+    fn parallel_fps_is_bit_identical_to_serial() {
+        // Big enough to cross FPS_PAR_WORK with several workers.
+        let pts = pseudo_points(8192, 17);
+        let want = golden::farthest_point_sampling(&pts, 300);
+        assert_eq!(fps_parallel(&pts, 300, 4), want);
+        assert_eq!(INDEXED.farthest_point_sampling(&pts, 300), want);
+    }
+
+    #[test]
+    fn padded_ball_query_on_empty_input_is_empty() {
+        let queries = pseudo_points(4, 3);
+        let empty = PointSet::new();
+        let out = INDEXED.ball_query_padded(&empty, &queries, 1.0, 4);
+        assert_eq!(out, vec![Vec::<usize>::new(); 4]);
+    }
+
+    #[test]
+    fn backend_lookup_by_name() {
+        assert_eq!(backend_by_name("indexed").map(|b| b.name()), Some("indexed"));
+        assert_eq!(backend_by_name("golden").map(|b| b.name()), Some("golden"));
+        assert!(backend_by_name("quantum").is_none());
+        assert!(!default_backend().name().is_empty());
+    }
+
+    #[test]
+    fn coord_index_roundtrip() {
+        let vc = pseudo_cloud(60, 2, 2);
+        let idx = CoordIndex::build(&vc);
+        assert_eq!(idx.len(), vc.len());
+        assert!(!idx.is_empty());
+        for (i, &c) in vc.coords().iter().enumerate() {
+            assert_eq!(idx.get(c), Some(i as u32));
+        }
+    }
+}

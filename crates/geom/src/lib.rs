@@ -2,10 +2,17 @@
 //!
 //! This crate provides the data structures shared by the whole workspace —
 //! lattice coordinates, continuous points, clouds, feature matrices and
-//! map tables — plus **golden reference implementations** of every mapping
-//! operation the paper discusses (farthest point sampling, k-nearest
-//! neighbors, ball query, hash-table kernel mapping, coordinate
-//! quantization).
+//! map tables — plus two implementations of every mapping operation the
+//! paper discusses (farthest point sampling, k-nearest neighbors, ball
+//! query, kernel mapping, coordinate quantization):
+//!
+//! - [`golden`] — brute-force **reference oracles**, kept deliberately
+//!   naive so they are easy to audit, and
+//! - [`index`] — the production [`index::MappingBackend`] surface:
+//!   grid-hash spatial indexing with per-query/per-offset parallelism
+//!   ([`index::Indexed`], the process default) next to the oracle
+//!   ([`index::Golden`]), bit-identical by construction and enforced by
+//!   the property suite in `tests/mapping_backends.rs`.
 //!
 //! The accelerator model in the `pointacc` crate implements the same
 //! operations with the hardware's ranking-based algorithms and is tested
@@ -36,6 +43,8 @@ mod maps;
 mod point;
 
 pub mod golden;
+pub mod index;
+pub mod par;
 
 pub use cloud::{PointSet, VoxelCloud};
 pub use coord::Coord;

@@ -10,7 +10,8 @@
 //! for SparseConv layers (unit stride, stride-`s` downsampling, and
 //! transposed upsampling on the decoder path).
 
-use crate::{golden, VoxelCloud};
+use crate::index::{default_backend, MappingBackend};
+use crate::VoxelCloud;
 
 /// One `(input, output, weight)` map tuple.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -191,8 +192,21 @@ impl KernelMap {
     /// Maps of a stride-1 convolution: input and output share `cloud`'s
     /// coordinates, so every voxel maps onto itself through the center
     /// offset (odd kernels) plus one map per occupied neighbor offset.
+    ///
+    /// Built through the process-wide
+    /// [`default_backend`](crate::index::default_backend); use
+    /// [`KernelMap::unit_stride_with`] to pin a backend explicitly.
     pub fn unit_stride(cloud: &VoxelCloud, kernel_size: usize) -> Self {
-        let table = golden::kernel_map_hash(cloud, cloud, kernel_size);
+        Self::unit_stride_with(default_backend(), cloud, kernel_size)
+    }
+
+    /// [`KernelMap::unit_stride`] through an explicit mapping backend.
+    pub fn unit_stride_with(
+        backend: &dyn MappingBackend,
+        cloud: &VoxelCloud,
+        kernel_size: usize,
+    ) -> Self {
+        let table = backend.kernel_map(cloud, cloud, kernel_size);
         KernelMap::new(table, cloud.len(), cloud.len(), kernel_size.pow(3))
     }
 
@@ -200,9 +214,23 @@ impl KernelMap {
     /// `cloud` to the coarser lattice, then maps every input voxel into
     /// the output cell it falls in. Returns the coarse cloud alongside
     /// the maps (the executor threads it to the next layer).
+    ///
+    /// Built through the process-wide
+    /// [`default_backend`](crate::index::default_backend); use
+    /// [`KernelMap::downsample_with`] to pin a backend explicitly.
     pub fn downsample(cloud: &VoxelCloud, kernel_size: usize, stride: i32) -> (VoxelCloud, Self) {
+        Self::downsample_with(default_backend(), cloud, kernel_size, stride)
+    }
+
+    /// [`KernelMap::downsample`] through an explicit mapping backend.
+    pub fn downsample_with(
+        backend: &dyn MappingBackend,
+        cloud: &VoxelCloud,
+        kernel_size: usize,
+        stride: i32,
+    ) -> (VoxelCloud, Self) {
         let (coarse, _) = cloud.downsample(stride);
-        let table = golden::kernel_map_hash(cloud, &coarse, kernel_size);
+        let table = backend.kernel_map(cloud, &coarse, kernel_size);
         let km = KernelMap::new(table, cloud.len(), coarse.len(), kernel_size.pow(3));
         (coarse, km)
     }
@@ -211,8 +239,22 @@ impl KernelMap {
     /// back onto `fine`: exactly the forward `fine → coarse` map with
     /// inputs/outputs swapped and the weight index mirrored — the
     /// decoder counterpart of [`KernelMap::downsample`].
+    ///
+    /// Built through the process-wide
+    /// [`default_backend`](crate::index::default_backend); use
+    /// [`KernelMap::transposed_with`] to pin a backend explicitly.
     pub fn transposed(fine: &VoxelCloud, coarse: &VoxelCloud, kernel_size: usize) -> Self {
-        let table = golden::kernel_map_hash(fine, coarse, kernel_size).transpose();
+        Self::transposed_with(default_backend(), fine, coarse, kernel_size)
+    }
+
+    /// [`KernelMap::transposed`] through an explicit mapping backend.
+    pub fn transposed_with(
+        backend: &dyn MappingBackend,
+        fine: &VoxelCloud,
+        coarse: &VoxelCloud,
+        kernel_size: usize,
+    ) -> Self {
+        let table = backend.kernel_map(fine, coarse, kernel_size).transpose();
         KernelMap::new(table, coarse.len(), fine.len(), kernel_size.pow(3))
     }
 

@@ -1,0 +1,97 @@
+//! Minimal thread-parallel map, shared by the whole workspace.
+//!
+//! This lives at the bottom of the crate graph so the mapping backends in
+//! [`crate::index`] can parallelize per-query and per-offset work with
+//! the *same* scheduler the bench harness uses for (engine × benchmark ×
+//! seed) grids — `pointacc_bench::harness` re-exports these functions
+//! unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Worker-thread count: `POINTACC_THREADS` when set, otherwise one per
+/// available core.
+///
+/// The environment is read **once** per process; later mutations are
+/// ignored. Callers that need a specific worker count (tests, tuned
+/// drivers) should use [`parallel_map_with`] instead of mutating the
+/// process environment.
+pub fn worker_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("POINTACC_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(4, |n| n.get()))
+    })
+}
+
+/// Runs `f` over `items` on all available cores (override with
+/// `POINTACC_THREADS`), preserving input order.
+///
+/// The unit of scheduling is one item: a shared atomic cursor hands the
+/// next index to whichever worker frees up first, so skewed workloads
+/// (MinkNet traces cost orders of magnitude more than PointNet) balance
+/// automatically.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with(worker_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count.
+pub fn parallel_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 || workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = workers.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every index produced")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_across_workers() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map_with(4, &items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_tiny_inputs() {
+        assert_eq!(parallel_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+}

@@ -61,6 +61,15 @@ pub enum ExecError {
         /// Tensor kind of the popped skip.
         found: &'static str,
     },
+    /// A feature-space distance computation produced NaN (a NaN or
+    /// overflowed feature value reached a mapping operation, e.g.
+    /// DGCNN's feature-space k-NN graph).
+    NonFiniteFeature {
+        /// Layer index at the point of failure.
+        layer: usize,
+        /// Operator name.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -81,6 +90,13 @@ impl fmt::Display for ExecError {
             }
             ExecError::SkipMismatch { layer, op, expected, found } => {
                 write!(f, "layer {layer}: {op} requires a {expected} skip, found {found}")
+            }
+            ExecError::NonFiniteFeature { layer, op } => {
+                write!(
+                    f,
+                    "layer {layer}: {op} computed a NaN feature-space distance \
+                     (non-finite feature values)"
+                )
             }
         }
     }

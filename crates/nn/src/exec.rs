@@ -2,9 +2,11 @@
 //! CPU arithmetic, producing functional outputs **and** the
 //! [`NetworkTrace`] every hardware model replays.
 //!
-//! Mapping operations use the golden algorithms of `pointacc_geom` — the
-//! same results the PointAcc mapping unit must reproduce bit-exactly.
-//! SparseConv layers execute the MinkowskiEngine-style
+//! Mapping operations run on a `pointacc_geom` [`MappingBackend`] — the
+//! grid-hash [`Indexed`](pointacc_geom::index::Indexed) backend by
+//! default, bit-identical to the golden oracle (and to the PointAcc
+//! mapping unit), so swapping backends never perturbs traces or
+//! features. SparseConv layers execute the MinkowskiEngine-style
 //! gather–GEMM–scatter flow over [`KernelMap`]s with per-offset weights
 //! from the seeded [`WeightGen`], so [`ExecMode::Full`] yields real,
 //! reproducible features for voxel networks end to end.
@@ -12,6 +14,7 @@
 //! Malformed network/tensor combinations never panic: every fault is a
 //! typed [`ExecError`] from [`Executor::try_run`].
 
+use pointacc_geom::index::{default_backend, dist_key, MappingBackend};
 use pointacc_geom::{golden, FeatureMatrix, KernelMap, MapTable, Point3, PointSet, VoxelCloud};
 
 use crate::{
@@ -55,10 +58,21 @@ pub struct ExecOutput {
 /// let out = Executor::new(ExecMode::Full, 42).run(&net, &pts);
 /// assert_eq!(out.features.rows(), 1); // classification head
 /// ```
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone)]
 pub struct Executor {
     mode: ExecMode,
     weights: WeightGen,
+    backend: &'static dyn MappingBackend,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("mode", &self.mode)
+            .field("weights", &self.weights)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
 }
 
 /// Current tensor flowing through the network.
@@ -94,9 +108,19 @@ struct Ctx {
 }
 
 impl Executor {
-    /// Creates an executor with the given fidelity and weight seed.
+    /// Creates an executor with the given fidelity and weight seed,
+    /// running mapping operations on the process-wide
+    /// [`default_backend`] (the grid-hash `Indexed` backend unless
+    /// `POINTACC_BACKEND=golden`).
     pub fn new(mode: ExecMode, seed: u64) -> Self {
-        Executor { mode, weights: WeightGen::new(seed) }
+        Executor::with_backend(mode, seed, default_backend())
+    }
+
+    /// [`Executor::new`] pinned to an explicit mapping backend (tests,
+    /// backend benchmarks). Backends are bit-identical, so this changes
+    /// wall-clock only, never traces or features.
+    pub fn with_backend(mode: ExecMode, seed: u64, backend: &'static dyn MappingBackend) -> Self {
+        Executor { mode, weights: WeightGen::new(seed), backend }
     }
 
     /// Runs `net` on `points`, returning outputs and trace.
@@ -338,11 +362,11 @@ impl Executor {
         let (out_vc, km) = if stride > 1 {
             // U-Net encoder: remember the finer level for the decoder.
             ctx.skips.push((State::Vox(vc.clone()), ctx.feats.clone()));
-            let (ds, km) = KernelMap::downsample(&vc, ks, stride as i32);
+            let (ds, km) = KernelMap::downsample_with(self.backend, &vc, ks, stride as i32);
             mapping.push(MappingOp::Quantize { n_in: vc.len(), n_out: ds.len() });
             (ds, km)
         } else {
-            (vc.clone(), KernelMap::unit_stride(&vc, ks))
+            (vc.clone(), KernelMap::unit_stride_with(self.backend, &vc, ks))
         };
         mapping.push(MappingOp::KernelMap {
             n_in: km.n_in(),
@@ -395,7 +419,7 @@ impl Executor {
         };
         // Maps of the transposed conv = transpose of the forward
         // downsampling conv's maps (fine → coarse).
-        let km = KernelMap::transposed(&fine, &coarse, ks);
+        let km = KernelMap::transposed_with(self.backend, &fine, &coarse, ks);
         let mapping = vec![MappingOp::KernelMap {
             n_in: fine.len(),
             n_out: coarse.len(),
@@ -482,9 +506,9 @@ impl Executor {
         let (centroids, nbrs, mapping, k) = match spec {
             Some((n_out, radius, k)) => {
                 let n_out = n_out.min(pts.len());
-                let sel = golden::farthest_point_sampling(&pts, n_out);
+                let sel = self.backend.farthest_point_sampling(&pts, n_out);
                 let centroids = pts.select(&sel);
-                let nbrs = golden::ball_query_padded(&pts, &centroids, radius * radius, k);
+                let nbrs = self.backend.ball_query_padded(&pts, &centroids, radius * radius, k);
                 let mapping = vec![
                     MappingOp::Fps { n_in: pts.len(), n_out },
                     MappingOp::BallQuery { n_in: pts.len(), n_queries: n_out, k },
@@ -600,7 +624,7 @@ impl Executor {
             }
             State::Pts(coarse) => {
                 let k = 3.min(coarse.len());
-                let nbrs = golden::k_nearest_neighbors(coarse, &fine, k);
+                let nbrs = self.backend.k_nearest_neighbors(coarse, &fine, k);
                 let maps = golden::neighbors_to_maps(&nbrs);
                 let mut f = FeatureMatrix::zeros(fine.len(), c);
                 if self.mode == ExecMode::Full {
@@ -670,8 +694,10 @@ impl Executor {
         // size and cost, different edges).
         let nbrs: Vec<Vec<usize>> = if self.mode == ExecMode::Full {
             feature_knn(&ctx.feats, k)
+                .map_err(|_| ExecError::NonFiniteFeature { layer: ctx.layer_idx, op: "EdgeConv" })?
         } else {
-            golden::k_nearest_neighbors(&pts, &pts, k + 1)
+            self.backend
+                .k_nearest_neighbors(&pts, &pts, k + 1)
                 .into_iter()
                 .enumerate()
                 .map(|(i, mut v)| {
@@ -769,23 +795,34 @@ fn input_features(points: &[Point3], in_ch: usize) -> FeatureMatrix {
     })
 }
 
+/// Marker error: a feature-space distance came out NaN (the caller maps
+/// it to [`ExecError::NonFiniteFeature`] with layer context).
+struct NonFiniteDistance;
+
 /// Brute-force k-NN over feature rows (excluding self).
-fn feature_knn(feats: &FeatureMatrix, k: usize) -> Vec<Vec<usize>> {
+///
+/// Feature space is high-dimensional, so the 3-D grid index does not
+/// apply; the scan ranks with the same total-order [`dist_key`] as the
+/// spatial backends, which makes the sort immune to non-finite values —
+/// a NaN distance (NaN or overflowed features) is detected up front and
+/// surfaced as an error instead of panicking mid-sort.
+fn feature_knn(feats: &FeatureMatrix, k: usize) -> Result<Vec<Vec<usize>>, NonFiniteDistance> {
     let n = feats.rows();
     (0..n)
         .map(|i| {
             let fi = feats.row(i);
-            let mut d: Vec<(f32, usize)> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| {
-                    let fj = feats.row(j);
-                    let dist: f32 = fi.iter().zip(fj).map(|(a, b)| (a - b) * (a - b)).sum();
-                    (dist, j)
-                })
-                .collect();
-            d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-            d.truncate(k);
-            d.into_iter().map(|(_, j)| j).collect()
+            let mut keys: Vec<u128> = Vec::with_capacity(n.saturating_sub(1));
+            for j in (0..n).filter(|&j| j != i) {
+                let fj = feats.row(j);
+                let dist: f32 = fi.iter().zip(fj).map(|(a, b)| (a - b) * (a - b)).sum();
+                if dist.is_nan() {
+                    return Err(NonFiniteDistance);
+                }
+                keys.push(dist_key(dist, j as u32));
+            }
+            keys.sort_unstable();
+            keys.truncate(k);
+            Ok(keys.into_iter().map(|key| (key & 0xFFFF_FFFF) as usize).collect())
         })
         .collect()
 }
@@ -950,6 +987,35 @@ mod tests {
                 found: "point-cloud",
             }
         );
+    }
+
+    #[test]
+    fn nan_features_surface_as_typed_error_not_panic() {
+        // A NaN coordinate propagates into the input features, so
+        // DGCNN's feature-space k-NN computes NaN distances. Before the
+        // total-order ranking key this panicked inside the sort
+        // comparator ("finite distances"); now it is a typed error.
+        let net = Network::new("edge-nan", Domain::PointBased, 3)
+            .push(Op::EdgeConv { k: 2, dims: vec![8] });
+        let mut pts: Vec<Point3> = cloud(8).points().to_vec();
+        pts[3] = Point3::new(f32::NAN, 0.0, 0.0);
+        let err = Executor::new(ExecMode::Full, 1)
+            .try_run(&net, &PointSet::from_points(pts))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::NonFiniteFeature { op: "EdgeConv", .. }), "{err:?}");
+        assert!(err.to_string().contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn infinite_features_still_rank_totally() {
+        // +inf distances (overflowed but not NaN features) are orderable
+        // under the total-order key: execution completes.
+        let net = Network::new("edge-inf", Domain::PointBased, 3)
+            .push(Op::EdgeConv { k: 2, dims: vec![8] });
+        let mut pts: Vec<Point3> = cloud(8).points().to_vec();
+        pts[5] = Point3::new(1e38, 1e38, 0.0); // dist² overflows to +inf
+        let out = Executor::new(ExecMode::Full, 1).try_run(&net, &PointSet::from_points(pts));
+        assert!(out.is_ok(), "{:?}", out.err());
     }
 
     #[test]

@@ -1,24 +1,26 @@
-//! Golden regression test: the geometric-mean speedup of PointAcc over
-//! every baseline engine, at a fixed workload (`scale = 0.05`, seed 42),
-//! locked to snapshot values.
+//! Golden regression test: the geometric-mean speedup **and energy
+//! ratio** of PointAcc over every baseline engine, locked to snapshot
+//! values at two fixed workloads (`scale = 0.05` and `scale = 0.1`,
+//! seed 42).
 //!
 //! The harness, the engines and the trace generator are all
 //! deterministic, so these numbers must reproduce bit-for-bit modulo
 //! floating-point noise. An engine or compiler refactor that changes the
 //! reported results — intentionally or not — fails this test loudly;
 //! update the snapshot only when the change is understood and the new
-//! numbers are the ones future figures should report.
+//! numbers are the ones future figures should report. The mapping
+//! backends are bit-identical by contract (`tests/mapping_backends.rs`),
+//! so backend swaps must *not* move these numbers.
 
 use pointacc::{Accelerator, Engine, PointAccConfig};
 use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
-use pointacc_bench::harness::Grid;
+use pointacc_bench::harness::{Grid, GridRun};
 
-/// Workload lock: do not change without regenerating the snapshot.
-const GOLDEN_SCALE: f64 = 0.05;
+/// Workload lock: do not change without regenerating the snapshots.
 const GOLDEN_SEED: u64 = 42;
 
 /// `(baseline name, geomean speedup of PointAcc.Full over it)` across
-/// every (benchmark, seed) cell the baseline supports.
+/// every (benchmark, seed) cell the baseline supports, at scale 0.05.
 const GOLDEN_GEOMEANS: [(&str, f64); 9] = [
     ("RTX 2080Ti", 4.103448195550159),
     ("Xeon + TPUv3", 49.22709469905911),
@@ -31,12 +33,41 @@ const GOLDEN_GEOMEANS: [(&str, f64); 9] = [
     ("Mesorasi-SW on Raspberry Pi 4B", 314.7041152127234),
 ];
 
+/// `(baseline name, geomean energy ratio rival/PointAcc.Full)` at scale
+/// 0.05 — the "energy savings" axis of Fig. 13/14.
+const GOLDEN_ENERGY_RATIOS: [(&str, f64); 9] = [
+    ("RTX 2080Ti", 27.21304037795327),
+    ("Xeon + TPUv3", 365.63717003909835),
+    ("Xeon Gold 6130", 263.10431954907136),
+    ("Jetson Xavier NX", 6.561590452729668),
+    ("Jetson Nano", 10.628240839066493),
+    ("Raspberry Pi 4B", 108.75557213418446),
+    ("Mesorasi", 1.6924768870519833),
+    ("Mesorasi-SW on Jetson Nano", 7.35422971357169),
+    ("Mesorasi-SW on Raspberry Pi 4B", 50.8862641674638),
+];
+
+/// Geomean speedups at the larger scale 0.1 workload (feasible in a
+/// test since trace compilation moved to the indexed mapping backend).
+const GOLDEN_GEOMEANS_SCALE_0_1: [(&str, f64); 9] = [
+    ("RTX 2080Ti", 4.244190676374155),
+    ("Xeon + TPUv3", 50.4200662672314),
+    ("Xeon Gold 6130", 83.75119016582455),
+    ("Jetson Xavier NX", 17.920007466276274),
+    ("Jetson Nano", 44.26857382266308),
+    ("Raspberry Pi 4B", 783.0603481533475),
+    ("Mesorasi", 35.280599519970096),
+    ("Mesorasi-SW on Jetson Nano", 29.75230717675847),
+    ("Mesorasi-SW on Raspberry Pi 4B", 371.2077620461859),
+];
+
 /// Relative tolerance: generous against FP-order noise, far tighter
 /// than any real modeling change.
 const REL_TOL: f64 = 1e-6;
 
-#[test]
-fn geomean_speedups_match_snapshot() {
+/// Runs the full 10-engine grid (PointAcc.Full + 9 baselines) at one
+/// scale.
+fn golden_grid(scale: f64) -> GridRun {
     let acc = Accelerator::new(PointAccConfig::full());
     let platforms = [
         Platform::rtx_2080ti(),
@@ -54,20 +85,54 @@ fn geomean_speedups_match_snapshot() {
     engines.extend(platforms.iter().map(|p| p as &dyn Engine));
     engines.extend([&mesorasi as &dyn Engine, &sw_nano, &sw_rpi]);
 
-    let run = Grid::new().engines(engines).seeds([GOLDEN_SEED]).scale(GOLDEN_SCALE).run();
+    Grid::new().engines(engines).seeds([GOLDEN_SEED]).scale(scale).run()
+}
 
+/// Compares one metric against its snapshot, collecting drift reports.
+fn check_snapshot(
+    run: &GridRun,
+    snapshot: &[(&str, f64)],
+    metric: impl Fn(usize) -> f64,
+    label: &str,
+) {
     let mut failures = Vec::new();
-    for (i, &(name, golden)) in GOLDEN_GEOMEANS.iter().enumerate() {
+    for (i, &(name, golden)) in snapshot.iter().enumerate() {
         let rival = 1 + i;
         assert_eq!(run.engines[rival], name, "baseline order changed — regenerate the snapshot");
-        let got = run.geomean_speedup(0, rival);
+        let got = metric(rival);
         println!("    (\"{name}\", {got}),");
         let rel = ((got - golden) / golden).abs();
         if rel.is_nan() || rel >= REL_TOL {
             failures.push(format!(
-                "{name}: geomean speedup {got} drifted from snapshot {golden} (rel {rel:.2e})"
+                "{name}: {label} {got} drifted from snapshot {golden} (rel {rel:.2e})"
             ));
         }
     }
-    assert!(failures.is_empty(), "reported results changed:\n{}", failures.join("\n"));
+    assert!(failures.is_empty(), "reported {label}s changed:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn geomean_speedups_and_energy_match_snapshot() {
+    let run = golden_grid(0.05);
+    println!("speedups @0.05:");
+    check_snapshot(&run, &GOLDEN_GEOMEANS, |r| run.geomean_speedup(0, r), "geomean speedup");
+    println!("energy ratios @0.05:");
+    check_snapshot(
+        &run,
+        &GOLDEN_ENERGY_RATIOS,
+        |r| run.geomean_energy_ratio(0, r),
+        "geomean energy ratio",
+    );
+}
+
+#[test]
+fn geomean_speedups_match_snapshot_at_scale_0_1() {
+    let run = golden_grid(0.1);
+    println!("speedups @0.1:");
+    check_snapshot(
+        &run,
+        &GOLDEN_GEOMEANS_SCALE_0_1,
+        |r| run.geomean_speedup(0, r),
+        "geomean speedup",
+    );
 }
