@@ -141,7 +141,7 @@ pub fn simulate_sparse_accesses(
     sample_limit: Option<u64>,
 ) -> CacheStats {
     let mut cache = FeatureCache::new(cfg);
-    let n_out = maps.entries().iter().map(|e| e.output).max().map_or(0, |m| m as usize + 1);
+    let n_out = maps.outputs().iter().max().map_or(0, |&m| m as usize + 1);
     let tile_pts = plan.out_tile_points.max(1);
     let n_tiles = n_out.div_ceil(tile_pts).max(1);
     'outer: for t in 0..n_tiles {
@@ -153,10 +153,10 @@ pub fn simulate_sparse_accesses(
                     let group = maps.group(w);
                     // Maps are emitted in ascending output order, so the
                     // resident range is a contiguous slice.
-                    let start = group.partition_point(|e| e.output < lo);
-                    let end = group.partition_point(|e| e.output < hi);
-                    for e in &group[start..end] {
-                        cache.access(e.input, ic as u32);
+                    let start = group.outputs().partition_point(|&o| o < lo);
+                    let end = group.outputs().partition_point(|&o| o < hi);
+                    for &input in &group.inputs()[start..end] {
+                        cache.access(input, ic as u32);
                         if let Some(limit) = sample_limit {
                             if cache.stats().accesses >= limit {
                                 break 'outer;

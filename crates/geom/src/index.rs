@@ -7,13 +7,20 @@
 //! the production path:
 //!
 //! - [`GridIndex`] — a uniform grid hash over continuous points with
-//!   bucketed neighbor iteration (expanding-shell kNN, AABB ball query),
-//! - [`CoordIndex`] — a hash index over a [`VoxelCloud`]'s lattice
-//!   coordinates, probed per kernel offset during map construction,
+//!   bucketed neighbor iteration (expanding-shell kNN, AABB ball query).
+//!   Buckets are laid out in **Morton (Z-curve) order** with the point
+//!   coordinates mirrored into x/y/z SoA arrays, so spatially adjacent
+//!   cells sit adjacent in memory and shell/AABB scans stream linear
+//!   loads instead of chasing the point array,
+//! - [`CoordIndex`] — an open-addressing hash index over a
+//!   [`VoxelCloud`]'s packed lattice keys (no per-probe SipHash), for
+//!   point lookups whose probe order is arbitrary (kernel-map probes
+//!   themselves ascend per bucket and use a merge join instead),
 //! - [`MappingBackend`] — one trait for every mapping operation (FPS,
-//!   kNN, ball query, kernel mapping), with two implementations:
-//!   [`Golden`] (the brute-force oracle) and [`Indexed`] (grid-hash
-//!   traversal plus per-query/per-offset parallelism via [`crate::par`]).
+//!   kNN, ball query, kernel mapping, opt-in approximate FPS), with two
+//!   implementations: [`Golden`] (the brute-force oracle) and [`Indexed`]
+//!   (grid-hash traversal, **fused kernel-map probing** over output
+//!   buckets, plus per-query/per-bucket parallelism via [`crate::par`]).
 //!
 //! **Both backends are bit-identical by construction** — same ranking
 //! key `(dist², index)`, same tie-breaking, same map emission order per
@@ -23,13 +30,13 @@
 //! default to [`Indexed`]; set `POINTACC_BACKEND=golden` to force the
 //! oracle (read once per process).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::thread;
 
 use crate::par::{parallel_map, worker_threads};
-use crate::{golden, Coord, MapEntry, MapTable, Point3, PointSet, VoxelCloud};
+use crate::{golden, Coord, MapTable, Point3, PointSet, VoxelCloud};
 
 /// Packs a non-negative squared distance and tie-breaking index into one
 /// ascending comparator key: `(dist² bits, index)`. IEEE-754 bit patterns
@@ -60,13 +67,27 @@ const QUERY_PAR_WORK: usize = 1 << 13;
 const KERNEL_PAR_WORK: usize = 1 << 17;
 const FPS_PAR_WORK: u64 = 1 << 21;
 
+/// Minimum points per parallel-FPS worker chunk: below this the
+/// per-iteration barrier dominates the chunk scan.
+const FPS_MIN_CHUNK: usize = 2048;
+
+/// Minimum cloud size for grid-stratified approximate FPS; smaller
+/// clouds fall back to exact sampling (stratification overhead and the
+/// approximation error both outweigh the saved distance evaluations).
+const FPS_APPROX_MIN: usize = 2048;
+
 /// A uniform grid hash over a slice of continuous points.
 ///
 /// Cell size is chosen from the bounding box so cells hold ~2 points on
 /// average (capped so the cell array stays O(n)); buckets are stored CSR
-/// style. Queries walk cells in expanding Chebyshev shells (kNN) or the
-/// ball's AABB (ball query) and rank candidates by [`dist_key`], so the
-/// results are identical to a brute-force scan.
+/// style, **ordered by the Morton (Z-curve) code of their cell** so
+/// spatially adjacent buckets sit adjacent in memory, and the point
+/// coordinates are mirrored into x/y/z SoA arrays in bucket-slot order
+/// so candidate scans read linear memory instead of gathering through
+/// the point slice. Queries walk cells in expanding Chebyshev shells
+/// (kNN) or the ball's AABB (ball query) and rank candidates by
+/// [`dist_key`], so the results are identical to a brute-force scan —
+/// the layout moves bytes, never bits.
 ///
 /// # Examples
 ///
@@ -87,9 +108,18 @@ pub struct GridIndex<'a> {
     cell: f32,
     origin: Point3,
     dims: [usize; 3],
-    /// CSR offsets: bucket `b` is `entries[starts[b]..starts[b + 1]]`.
+    /// Linear cell id → Morton-ordered bucket slot.
+    slot_of: Vec<u32>,
+    /// CSR offsets by slot: bucket at slot `s` is
+    /// `entries[starts[s]..starts[s + 1]]`.
     starts: Vec<u32>,
+    /// Original point index of each bucket slot.
     entries: Vec<u32>,
+    /// Point coordinates in bucket-slot order (SoA mirror of `entries`,
+    /// so candidate scans stream linear memory).
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+    zs: Vec<f32>,
 }
 
 impl<'a> GridIndex<'a> {
@@ -103,8 +133,12 @@ impl<'a> GridIndex<'a> {
                 cell: 1.0,
                 origin: Point3::ORIGIN,
                 dims: [1, 1, 1],
+                slot_of: vec![0],
                 starts: vec![0, 0],
                 entries: Vec::new(),
+                xs: Vec::new(),
+                ys: Vec::new(),
+                zs: Vec::new(),
             };
         }
         let mut min = points[0];
@@ -125,13 +159,14 @@ impl<'a> GridIndex<'a> {
             (1.0, [1, 1, 1])
         };
         let n_cells = dims[0] * dims[1] * dims[2];
+        let slot_of = Self::morton_slots(dims);
         let bucket_of = |p: &Point3| -> usize {
             let cx = Self::axis_cell(p.x, min.x, cell).clamp(0, dims[0] as i128 - 1) as usize;
             let cy = Self::axis_cell(p.y, min.y, cell).clamp(0, dims[1] as i128 - 1) as usize;
             let cz = Self::axis_cell(p.z, min.z, cell).clamp(0, dims[2] as i128 - 1) as usize;
-            (cx * dims[1] + cy) * dims[2] + cz
+            slot_of[(cx * dims[1] + cy) * dims[2] + cz] as usize
         };
-        // Counting sort into CSR buckets.
+        // Counting sort into Morton-ordered CSR buckets.
         let mut starts = vec![0u32; n_cells + 1];
         for p in points {
             starts[bucket_of(p) + 1] += 1;
@@ -146,7 +181,58 @@ impl<'a> GridIndex<'a> {
             entries[cursor[b] as usize] = i as u32;
             cursor[b] += 1;
         }
-        GridIndex { points, cell, origin: min, dims, starts, entries }
+        // SoA mirror of the slot order: one gather at build time buys
+        // linear scans on every query.
+        let mut xs = vec![0.0f32; n];
+        let mut ys = vec![0.0f32; n];
+        let mut zs = vec![0.0f32; n];
+        for (s, &i) in entries.iter().enumerate() {
+            let p = points[i as usize];
+            xs[s] = p.x;
+            ys[s] = p.y;
+            zs[s] = p.z;
+        }
+        GridIndex { points, cell, origin: min, dims, slot_of, starts, entries, xs, ys, zs }
+    }
+
+    /// Spreads the low 21 bits of `v` to every third bit (Morton
+    /// interleave helper).
+    fn morton_spread(v: u64) -> u64 {
+        let mut x = v & 0x1F_FFFF;
+        x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+        x = (x | (x << 16)) & 0x1F_0000_FF00_00FF;
+        x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+        x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+        x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+        x
+    }
+
+    /// Maps every linear cell id to its rank along the Morton curve, so
+    /// spatially adjacent cells land in adjacent CSR buckets. Falls back
+    /// to the identity (x-major) layout if a dimension exceeds the
+    /// 21-bit interleave range — unreachable for any cell array capped
+    /// at `4n + 64`, but cheap to guard.
+    fn morton_slots(dims: [usize; 3]) -> Vec<u32> {
+        let n_cells = dims[0] * dims[1] * dims[2];
+        if dims.iter().any(|&d| d >= (1 << 21)) {
+            return (0..n_cells as u32).collect();
+        }
+        let mut order: Vec<u32> = (0..n_cells as u32).collect();
+        let code = |b: u32| -> u64 {
+            let b = b as usize;
+            let x = b / (dims[1] * dims[2]);
+            let y = (b / dims[2]) % dims[1];
+            let z = b % dims[2];
+            Self::morton_spread(x as u64)
+                | (Self::morton_spread(y as u64) << 1)
+                | (Self::morton_spread(z as u64) << 2)
+        };
+        order.sort_unstable_by_key(|&b| code(b));
+        let mut slot_of = vec![0u32; n_cells];
+        for (slot, &b) in order.iter().enumerate() {
+            slot_of[b as usize] = slot as u32;
+        }
+        slot_of
     }
 
     /// Cell size targeting ~2 points per occupied cell, grown until the
@@ -187,14 +273,32 @@ impl<'a> GridIndex<'a> {
         ]
     }
 
-    fn bucket(&self, x: usize, y: usize, z: usize) -> &[u32] {
-        let b = (x * self.dims[1] + y) * self.dims[2] + z;
-        &self.entries[self.starts[b] as usize..self.starts[b + 1] as usize]
+    /// Slot range of the bucket at cell `(x, y, z)` — scan it with
+    /// [`GridIndex::scan_bucket`].
+    fn bucket(&self, x: usize, y: usize, z: usize) -> std::ops::Range<usize> {
+        let s = self.slot_of[(x * self.dims[1] + y) * self.dims[2] + z] as usize;
+        self.starts[s] as usize..self.starts[s + 1] as usize
+    }
+
+    /// Streams one bucket's candidates from the SoA coordinate arrays:
+    /// `visit(point index, dist²(q))` per slot, in slot order. Distances
+    /// come from the same `Point3::dist2` arithmetic as the brute scan,
+    /// so the layout changes locality, never values.
+    fn scan_bucket(
+        &self,
+        range: std::ops::Range<usize>,
+        q: Point3,
+        visit: &mut impl FnMut(u32, f32),
+    ) {
+        for s in range {
+            let d = Point3::new(self.xs[s], self.ys[s], self.zs[s]).dist2(q);
+            visit(self.entries[s], d);
+        }
     }
 
     /// Visits every bucket at Chebyshev cell distance exactly `r` from
     /// `c`, clipped to the grid.
-    fn for_shell(&self, c: [i128; 3], r: i128, visit: &mut dyn FnMut(&[u32])) {
+    fn for_shell(&self, c: [i128; 3], r: i128, visit: &mut dyn FnMut(std::ops::Range<usize>)) {
         let d = self.dims;
         let clip = |lo: i128, hi: i128, dim: usize| {
             let lo = lo.max(0);
@@ -285,8 +389,7 @@ impl<'a> GridIndex<'a> {
         let mut heap: BinaryHeap<u128> = BinaryHeap::with_capacity(k + 1);
         for r in r0..=max_ring.max(r0) {
             self.for_shell(c, r, &mut |bucket| {
-                for &i in bucket {
-                    let d = self.points[i as usize].dist2(q);
+                self.scan_bucket(bucket, q, &mut |i, d| {
                     let key = total_dist_key(d, i);
                     if heap.len() < k {
                         heap.push(key);
@@ -294,7 +397,7 @@ impl<'a> GridIndex<'a> {
                         heap.pop();
                         heap.push(key);
                     }
-                }
+                });
             });
             if heap.len() == k {
                 // Points in shells ≥ r+1 are ≥ (r-1)·cell away (one cell
@@ -335,12 +438,12 @@ impl<'a> GridIndex<'a> {
         for x in clamp(lo[0], self.dims[0])..=clamp(hi[0], self.dims[0]) {
             for y in clamp(lo[1], self.dims[1])..=clamp(hi[1], self.dims[1]) {
                 for z in clamp(lo[2], self.dims[2])..=clamp(hi[2], self.dims[2]) {
-                    for &i in self.bucket(x as usize, y as usize, z as usize) {
-                        let d = self.points[i as usize].dist2(q);
+                    let bucket = self.bucket(x as usize, y as usize, z as usize);
+                    self.scan_bucket(bucket, q, &mut |i, d| {
                         if d <= radius2 {
                             keys.push(total_dist_key(d, i));
                         }
-                    }
+                    });
                 }
             }
         }
@@ -350,9 +453,15 @@ impl<'a> GridIndex<'a> {
     }
 }
 
-/// A hash index over a [`VoxelCloud`]'s lattice coordinates: built once
-/// per layer, probed once per (output point × kernel offset) during
-/// kernel-map construction.
+/// A hash index over a [`VoxelCloud`]'s lattice coordinates, for point
+/// lookups whose probe order is arbitrary. (Kernel-map construction
+/// probes coordinates in ascending key order, where a merge join
+/// against the sorted cloud beats any per-probe hash — see
+/// [`Indexed::kernel_map`].)
+///
+/// Open addressing with linear probing over [`Coord::key`]'s 96-bit
+/// packed keys: no per-probe SipHash, no per-entry heap boxes, ~50%
+/// load factor.
 ///
 /// # Examples
 ///
@@ -366,28 +475,85 @@ impl<'a> GridIndex<'a> {
 /// assert_eq!(idx.get(Coord::new(9, 9, 9)), None);
 /// ```
 pub struct CoordIndex {
-    map: HashMap<Coord, u32>,
+    /// Packed coordinate key per slot; [`CoordIndex::EMPTY`] marks a
+    /// free slot ([`Coord::key`] uses only the low 96 bits, so the
+    /// sentinel can never collide with a real key).
+    keys: Vec<u128>,
+    vals: Vec<u32>,
+    mask: usize,
+    len: usize,
 }
 
 impl CoordIndex {
+    const EMPTY: u128 = u128::MAX;
+
     /// Builds the index over a cloud's (unique) coordinates.
     pub fn build(cloud: &VoxelCloud) -> Self {
-        CoordIndex { map: cloud.coords().iter().enumerate().map(|(i, &c)| (c, i as u32)).collect() }
+        let n = cloud.len();
+        let capacity = (2 * n).next_power_of_two().max(4);
+        let mut idx = CoordIndex {
+            keys: vec![Self::EMPTY; capacity],
+            vals: vec![0; capacity],
+            mask: capacity - 1,
+            len: 0,
+        };
+        for (i, &c) in cloud.coords().iter().enumerate() {
+            idx.insert(c.key(), i as u32);
+        }
+        idx
+    }
+
+    /// Avalanching hash of a packed key, folded to the table's slot
+    /// range. Fibonacci multiplicative hashing on the xor-folded halves
+    /// mixes all 96 key bits into the high output bits.
+    fn slot(&self, key: u128) -> usize {
+        let folded = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = folded.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    fn insert(&mut self, key: u128, val: u32) {
+        let mut s = self.slot(key);
+        loop {
+            if self.keys[s] == Self::EMPTY {
+                self.keys[s] = key;
+                self.vals[s] = val;
+                self.len += 1;
+                return;
+            }
+            if self.keys[s] == key {
+                // Duplicate coordinate (impossible for a valid
+                // VoxelCloud): last write wins, as with a HashMap build.
+                self.vals[s] = val;
+                return;
+            }
+            s = (s + 1) & self.mask;
+        }
     }
 
     /// Index of `c` in the cloud, if present.
     pub fn get(&self, c: Coord) -> Option<u32> {
-        self.map.get(&c).copied()
+        let key = c.key();
+        let mut s = self.slot(key);
+        loop {
+            if self.keys[s] == key {
+                return Some(self.vals[s]);
+            }
+            if self.keys[s] == Self::EMPTY {
+                return None;
+            }
+            s = (s + 1) & self.mask;
+        }
     }
 
     /// Number of indexed coordinates.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 }
 
@@ -415,6 +581,21 @@ pub trait MappingBackend: Sync {
     ///
     /// Panics if `m > points.len()`.
     fn farthest_point_sampling(&self, points: &PointSet, m: usize) -> Vec<usize>;
+
+    /// Approximate farthest point sampling: same signature and selection
+    /// invariants as [`MappingBackend::farthest_point_sampling`] (starts
+    /// at index 0, returns `m` distinct indices, panics if
+    /// `m > points.len()`), but the sampled set may deviate from exact
+    /// FPS within a bounded coverage radius in exchange for fewer
+    /// distance evaluations. The default implementation **is** exact
+    /// FPS; backends that override it (grid-stratified seeding in
+    /// [`Indexed`]) must keep the coverage radius within
+    /// `2·r_exact + 3·√3·cell` of the exact sample (see
+    /// [`fps_stratified`]). Callers opt in explicitly — the executor
+    /// only routes here under its `ExecOptions::approx_fps` knob.
+    fn fps_approx(&self, points: &PointSet, m: usize) -> Vec<usize> {
+        self.farthest_point_sampling(points, m)
+    }
 
     /// k-nearest-neighbors of every query: ≤ `k` indices per query in
     /// ascending `(dist², index)` order.
@@ -511,8 +692,8 @@ impl MappingBackend for Golden {
 }
 
 /// The production backend: [`GridIndex`] traversal for kNN/ball query,
-/// chunk-parallel exact FPS, [`CoordIndex`]-probed kernel maps with
-/// per-offset parallelism. Falls back to serial loops below the work
+/// chunk-parallel exact FPS, and fused merge-join kernel maps with
+/// per-bucket parallelism. Falls back to serial loops below the work
 /// thresholds where thread spawns would dominate.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct Indexed;
@@ -547,12 +728,25 @@ impl MappingBackend for Indexed {
 
     fn farthest_point_sampling(&self, points: &PointSet, m: usize) -> Vec<usize> {
         assert!(m <= points.len(), "cannot sample {m} from {} points", points.len());
-        let n = points.len();
-        let workers = worker_threads().min(n / 2048).max(1);
-        if m == 0 || workers <= 1 || (n as u64) * (m as u64) < FPS_PAR_WORK {
+        let workers = fps_workers(worker_threads(), points.len(), m);
+        if workers <= 1 {
             return golden::farthest_point_sampling(points, m);
         }
         fps_parallel(points, m, workers)
+    }
+
+    /// Grid-stratified approximate FPS ([`fps_stratified`]); falls back
+    /// to exact sampling whenever stratification cannot pay for itself
+    /// (small clouds, dense sampling ratios, degenerate bounding boxes).
+    fn fps_approx(&self, points: &PointSet, m: usize) -> Vec<usize> {
+        assert!(m <= points.len(), "cannot sample {m} from {} points", points.len());
+        let n = points.len();
+        if n >= FPS_APPROX_MIN && m >= 1 && 2 * m < n {
+            if let Some((sel, _cell)) = fps_stratified(points, m) {
+                return sel;
+            }
+        }
+        self.farthest_point_sampling(points, m)
     }
 
     fn k_nearest_neighbors(
@@ -598,41 +792,329 @@ impl MappingBackend for Indexed {
         })
     }
 
+    /// Fused kernel-map probing: instead of one hash lookup per (output
+    /// point × kernel offset) — `kernel_volume · m` SipHash-class probes,
+    /// each a random access — the output coords are cut into contiguous
+    /// buckets (already spatially coherent, since a [`VoxelCloud`] is
+    /// sorted lexicographically) and every offset of a bucket is
+    /// resolved while the bucket stays hot in cache. Per offset the
+    /// probe coords `q + δ` ascend with `q` and the packed keys are
+    /// monotone in the cloud order, so each bucket×offset pass is a
+    /// **sorted-set intersection** against the input keys: no hashing at
+    /// all, both sides stream sequentially, and the two cursor advances
+    /// compile to conditional moves rather than data-dependent branches.
+    /// The keys pack into 21-bit lanes of a `u64` and the probe key is
+    /// one `wrapping_add` of a per-offset constant; the rare cloud whose
+    /// lanes exceed the ±2^19 guard delegates to the golden hash probe,
+    /// which is bit-identical by definition. Parallelism is over
+    /// buckets, so small kernels (k=2: 8 offsets) scale past 8 workers.
+    /// Hits leave each bucket offset-major and in ascending output
+    /// order, so the bucket-order merge yields exactly the golden
+    /// emission order regardless of worker count.
     fn kernel_map(&self, input: &VoxelCloud, output: &VoxelCloud, kernel_size: usize) -> MapTable {
         let offsets = golden::kernel_offsets(kernel_size);
-        let index = CoordIndex::build(input);
         let s = input.stride();
-        let probe = |(w, d): &(usize, Coord)| -> Vec<MapEntry> {
-            let dd = d.scale(s);
-            output
-                .coords()
-                .iter()
-                .enumerate()
-                .filter_map(|(qi, &q)| {
-                    index.get(q.offset(dd)).map(|pi| MapEntry::new(pi, qi as u32, *w as u16))
-                })
-                .collect()
+        let deltas: Vec<Coord> = offsets.iter().map(|d| d.scale(s)).collect();
+        let v = offsets.len();
+        let qs = output.coords();
+
+        // 64-bit fast path: with every lane in ±2^19 the biased 21-bit
+        // lanes can absorb any guarded delta without wrapping into a
+        // neighbor lane, so `key64(q + δ) = key64(q) + key64_delta(δ)`
+        // with plain wrapping adds, and key order still matches the
+        // cloud's lexicographic order.
+        const LANE64: i32 = 1 << 19;
+        let lane_ok = |c: &Coord| {
+            c.x > -LANE64
+                && c.x < LANE64
+                && c.y > -LANE64
+                && c.y < LANE64
+                && c.z > -LANE64
+                && c.z < LANE64
         };
-        let work = output.len().saturating_mul(offsets.len());
-        let entries: Vec<MapEntry> = if work >= KERNEL_PAR_WORK && worker_threads() > 1 {
-            let jobs: Vec<(usize, Coord)> = offsets.iter().copied().enumerate().collect();
-            parallel_map(&jobs, probe).concat()
-        } else {
-            // Serial path: emit straight into one vector (no per-offset
-            // allocations), exactly the golden loop over a shared index.
-            let mut entries = Vec::new();
-            for (w, &d) in offsets.iter().enumerate() {
-                let dd = d.scale(s);
-                for (qi, &q) in output.coords().iter().enumerate() {
-                    if let Some(pi) = index.get(q.offset(dd)) {
-                        entries.push(MapEntry::new(pi, qi as u32, w as u16));
+        if !(input.coords().iter().all(lane_ok)
+            && qs.iter().all(lane_ok)
+            && deltas.iter().all(lane_ok))
+        {
+            return golden::kernel_map_hash(input, output, kernel_size);
+        }
+        // Ascending, since `key64` preserves the lexicographic sort
+        // order of the cloud; the index of a key is the input index.
+        let in64: Vec<u64> = input.coords().iter().map(|&c| key64(c)).collect();
+        let q64: Vec<u64> = qs.iter().map(|&c| key64(c)).collect();
+        let origin64 = key64(Coord::new(0, 0, 0));
+        let d64: Vec<u64> = deltas.iter().map(|&d| key64(d).wrapping_sub(origin64)).collect();
+        let n_in = input.len();
+
+        // Self-map symmetry (odd kernels over one cloud — every
+        // stride-1 sparse-conv layer): `q + δ = p  ⟺  p + (−δ) = q`,
+        // and `kernel_offsets` lists `−δ` at the mirrored weight index,
+        // so the upper half of the weight groups is the transpose of
+        // the lower half and the center offset is the identity map.
+        // Only the lower half gets probed; the rest is derived.
+        let self_map = kernel_size % 2 == 1
+            && (std::ptr::eq(input, output) || input.coords() == output.coords());
+        let center = v / 2;
+        let n_probe = if self_map { center } else { v };
+
+        // One bucket's fused probe: SoA hit arrays, CSR by weight. Per
+        // offset, binary-search to the bucket's window, then intersect;
+        // hits land in a pre-sized scratch pair (plain cursor stores —
+        // `Vec::push` in this loop defeats the register allocation of
+        // the merge state) and are bulk-appended per offset.
+        let probe_bucket = |&(base, chunk): &(usize, &[Coord])| -> BucketHits {
+            let mlen = chunk.len();
+            let qk = &q64[base..base + mlen];
+            let mut inputs = Vec::new();
+            let mut outputs = Vec::new();
+            let mut counts = vec![0usize; n_probe + 1];
+            let mut buf_i = vec![0u32; mlen];
+            let mut buf_o = vec![0u32; mlen];
+            for (w, &dk) in d64[..n_probe].iter().enumerate() {
+                let mut c = 0usize;
+                let mut i = match qk.first() {
+                    Some(&k0) => in64.partition_point(|&key| key < k0.wrapping_add(dk)),
+                    None => 0,
+                };
+                let mut j = 0usize;
+                while i < n_in && j < mlen {
+                    let a = in64[i];
+                    let b = qk[j].wrapping_add(dk);
+                    if a == b {
+                        buf_i[c] = i as u32;
+                        buf_o[c] = (base + j) as u32;
+                        c += 1;
                     }
+                    i += usize::from(a <= b);
+                    j += usize::from(a >= b);
+                }
+                inputs.extend_from_slice(&buf_i[..c]);
+                outputs.extend_from_slice(&buf_o[..c]);
+                counts[w + 1] = inputs.len();
+            }
+            BucketHits { inputs, outputs, offsets: counts }
+        };
+
+        let work = qs.len().saturating_mul(v);
+        let parts: Vec<BucketHits> = if work >= KERNEL_PAR_WORK && worker_threads() > 1 {
+            // Several buckets per worker for balance; large enough that
+            // the per-bucket sort and merge copies stay amortized.
+            let chunk = qs.len().div_ceil(worker_threads() * 4).max(256);
+            let jobs: Vec<(usize, &[Coord])> =
+                qs.chunks(chunk).enumerate().map(|(i, c)| (i * chunk, c)).collect();
+            parallel_map(&jobs, probe_bucket)
+        } else {
+            vec![probe_bucket(&(0, qs))]
+        };
+
+        // Deterministic merge: weight-major over buckets in output
+        // order, straight into the table's SoA storage. Derived groups
+        // (self-map only) mirror the probed totals; the center offset
+        // maps every point to itself.
+        let mut group_len = vec![0usize; v];
+        for part in &parts {
+            for (w, len) in group_len[..n_probe].iter_mut().enumerate() {
+                *len += part.group_len(w);
+            }
+        }
+        if self_map {
+            for w in 0..center {
+                group_len[v - 1 - w] = group_len[w];
+            }
+            group_len[center] = n_in;
+        }
+        let mut offsets = vec![0usize; v + 1];
+        for (w, &len) in group_len.iter().enumerate() {
+            offsets[w + 1] = offsets[w] + len;
+        }
+        let total = offsets[v];
+        let mut inputs = vec![0u32; total];
+        let mut outputs = vec![0u32; total];
+        let mut cursor = offsets[..n_probe].to_vec();
+        for part in &parts {
+            for (w, at) in cursor.iter_mut().enumerate() {
+                let (pi, qi) = part.group(w);
+                inputs[*at..*at + pi.len()].copy_from_slice(pi);
+                outputs[*at..*at + qi.len()].copy_from_slice(qi);
+                *at += pi.len();
+            }
+        }
+        if self_map {
+            // Center: the identity map, in ascending output order.
+            let at = offsets[center];
+            for (i, (pi, qi)) in
+                inputs[at..at + n_in].iter_mut().zip(&mut outputs[at..at + n_in]).enumerate()
+            {
+                *pi = i as u32;
+                *qi = i as u32;
+            }
+            // Mirrors: transpose the probed group, counting-sorted by
+            // its input index — the mirrored group's output — so the
+            // golden per-group emission order (ascending output) holds.
+            // The probed + center groups all precede the mirrored ones,
+            // so one split separates reads from writes.
+            let split = offsets[center + 1];
+            let (in_src, in_dst) = inputs.split_at_mut(split);
+            let (out_src, out_dst) = outputs.split_at_mut(split);
+            let mut pos = vec![0u32; n_in + 1];
+            for w in 0..center {
+                let src = offsets[w]..offsets[w + 1];
+                let dst0 = offsets[v - 1 - w] - split;
+                pos.fill(0);
+                for &p in &in_src[src.clone()] {
+                    pos[p as usize + 1] += 1;
+                }
+                for b in 0..n_in {
+                    pos[b + 1] += pos[b];
+                }
+                for (&p, &q) in in_src[src.clone()].iter().zip(&out_src[src.clone()]) {
+                    let at = dst0 + pos[p as usize] as usize;
+                    in_dst[at] = q;
+                    out_dst[at] = p;
+                    pos[p as usize] += 1;
                 }
             }
-            entries
-        };
-        MapTable::from_entries(entries, offsets.len())
+        }
+        MapTable::from_soa(inputs, outputs, offsets)
     }
+}
+
+/// [`Coord::key`]'s 21-bit-lane sibling: packs a coordinate whose lanes
+/// all lie in ±2^19 into a `u64` that preserves the lexicographic coord
+/// order. The headroom above the guard is what lets kernel-map probes
+/// add a per-offset delta with one wrapping add — see
+/// [`Indexed::kernel_map`].
+fn key64(c: Coord) -> u64 {
+    const BIAS: i64 = 1 << 20;
+    (((c.x as i64 + BIAS) as u64) << 42)
+        | (((c.y as i64 + BIAS) as u64) << 21)
+        | ((c.z as i64 + BIAS) as u64)
+}
+
+/// One output bucket's kernel-map hits, grouped by weight (the
+/// per-bucket product of the fused probe, merged bucket-major into the
+/// final [`MapTable`]).
+struct BucketHits {
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+    /// CSR offsets by weight into `inputs`/`outputs`.
+    offsets: Vec<usize>,
+}
+
+impl BucketHits {
+    fn group_len(&self, w: usize) -> usize {
+        self.offsets[w + 1] - self.offsets[w]
+    }
+
+    fn group(&self, w: usize) -> (&[u32], &[u32]) {
+        let range = self.offsets[w]..self.offsets[w + 1];
+        (&self.inputs[range.clone()], &self.outputs[range])
+    }
+}
+
+/// Parallel-FPS gating, as a single predicate: the op's work is `n·m`
+/// distance evaluations — below [`FPS_PAR_WORK`] the per-iteration
+/// barrier costs more than it splits, and above it each worker still
+/// needs a chunk of at least [`FPS_MIN_CHUNK`] points to amortize its
+/// share of the barrier traffic. Returns 1 (stay serial) or the capped
+/// worker count.
+///
+/// (Replaces the former `min(n / 2048).max(1)` gating, whose `max(1)`
+/// clamp made the `workers <= 1` guard fire for every `n < 4096`
+/// regardless of `m` — leaving the work threshold dead for mid-size
+/// clouds with large sample counts.)
+fn fps_workers(available: usize, n: usize, m: usize) -> usize {
+    if (n as u64).saturating_mul(m as u64) < FPS_PAR_WORK {
+        1
+    } else {
+        available.min(n.div_ceil(FPS_MIN_CHUNK)).max(1)
+    }
+}
+
+/// Grid-stratified approximate farthest point sampling: bins the cloud
+/// into a uniform grid sized so the occupied cells oversample `m` by
+/// ~1.2×, takes the lowest-index point of each occupied cell as its
+/// representative, and runs **exact** FPS over the representatives —
+/// `O(n + 1.2m·m)` distance evaluations instead of `O(n·m)`.
+///
+/// Selection invariants match exact FPS: the representatives are sorted
+/// by original index, so point 0 (always the lowest index in its cell)
+/// is representative 0 and the selection starts there; all returned
+/// indices are distinct.
+///
+/// Error bound (property-tested in `tests/mapping_backends.rs`): every
+/// point is within one cell diagonal `√3·cell` of its representative,
+/// and FPS is a 2-approximation of the optimal k-center cost, so the
+/// coverage radius of the approximate sample is at most
+/// `2·r_exact + 3·√3·cell`, where `r_exact` is the exact sample's
+/// coverage radius. The chosen `cell` is returned alongside the
+/// selection so callers can evaluate the bound.
+///
+/// Returns `None` when stratification degenerates — non-finite or
+/// zero-volume bounding box, or too few occupied cells to pick `m`
+/// distinct points — and the caller should fall back to exact FPS.
+pub fn fps_stratified(points: &PointSet, m: usize) -> Option<(Vec<usize>, f32)> {
+    let n = points.len();
+    if m == 0 || m > n {
+        return None;
+    }
+    let pts = points.points();
+    let mut min = pts[0];
+    let mut max = pts[0];
+    for p in pts {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        min.z = min.z.min(p.z);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+        max.z = max.z.max(p.z);
+    }
+    let ext = [max.x - min.x, max.y - min.y, max.z - min.z];
+    if !ext.iter().all(|e| e.is_finite()) {
+        return None;
+    }
+    let vol = ext.iter().map(|&e| (e as f64).max(f64::MIN_POSITIVE)).product::<f64>();
+    let target = (m as f64 * 1.2).min(n as f64);
+    let mut cell = (vol / target).cbrt() as f32;
+    if !(cell.is_finite() && cell > 0.0) {
+        return None;
+    }
+    // Occupancy is data-dependent: shrink the cell by ∛2 per retry —
+    // doubling the expected occupancy each step, so the accepted grid
+    // overshoots the target (and with it the rep-FPS cost, which scales
+    // with the rep count) by at most ~2× — until enough cells are
+    // occupied to oversample m. Bounded retries keep the dense
+    // cell-count explosion of clustered clouds in check.
+    for _ in 0..18 {
+        let dims = ext.map(|e| ((e / cell).floor() as i64 + 1).max(1) as usize);
+        let n_cells = dims[0].checked_mul(dims[1]).and_then(|xy| xy.checked_mul(dims[2]))?;
+        if n_cells > 8 * n + 64 {
+            return None; // cell array no longer O(n); give up cleanly
+        }
+        // Lowest point index per occupied cell = its representative.
+        let mut rep_of_cell: Vec<u32> = vec![u32::MAX; n_cells];
+        for (i, p) in pts.iter().enumerate() {
+            let cx = (((p.x - min.x) / cell).floor() as i64).clamp(0, dims[0] as i64 - 1) as usize;
+            let cy = (((p.y - min.y) / cell).floor() as i64).clamp(0, dims[1] as i64 - 1) as usize;
+            let cz = (((p.z - min.z) / cell).floor() as i64).clamp(0, dims[2] as i64 - 1) as usize;
+            let b = (cx * dims[1] + cy) * dims[2] + cz;
+            rep_of_cell[b] = rep_of_cell[b].min(i as u32);
+        }
+        let mut reps: Vec<u32> = rep_of_cell.into_iter().filter(|&r| r != u32::MAX).collect();
+        if reps.len() >= target as usize || cell <= f32::MIN_POSITIVE {
+            if reps.len() < m {
+                return None;
+            }
+            // Ascending original index ⇒ reps[0] is point 0, the exact
+            // policy's starting point.
+            reps.sort_unstable();
+            let rep_points: PointSet = reps.iter().map(|&r| points.point(r as usize)).collect();
+            let sel = INDEXED.farthest_point_sampling(&rep_points, m);
+            return Some((sel.into_iter().map(|i| reps[i] as usize).collect(), cell));
+        }
+        cell *= 0.793_700_5; // 2^(-1/3): halves the expected cell volume
+    }
+    None
 }
 
 /// Exact chunk-parallel farthest point sampling.
@@ -880,6 +1362,75 @@ mod tests {
         assert_eq!(backend_by_name("golden").map(|b| b.name()), Some("golden"));
         assert!(backend_by_name("quantum").is_none());
         assert!(!default_backend().name().is_empty());
+    }
+
+    #[test]
+    fn fps_gating_is_one_predicate() {
+        // Below the work threshold: serial regardless of availability.
+        assert_eq!(fps_workers(8, 4096, 511), 1);
+        // At the threshold (4096·512 = FPS_PAR_WORK): parallel.
+        assert_eq!(fps_workers(8, 4096, 512), 2);
+        // Mid-size cloud, large m: the old min-then-max gating clamped
+        // to 1 worker for every n < 2·FPS_MIN_CHUNK, even with n·m far
+        // above the threshold. One predicate, so this parallelizes.
+        assert_eq!(fps_workers(8, 3000, 1000), 2);
+        // Worker count caps at availability.
+        assert_eq!(fps_workers(2, 1 << 20, 64), 2);
+        // m = 0 does no update work.
+        assert_eq!(fps_workers(8, 1 << 20, 0), 1);
+    }
+
+    #[test]
+    fn fps_approx_selection_invariants() {
+        let pts = pseudo_points(4096, 23);
+        let m = 256;
+        let sel = INDEXED.fps_approx(&pts, m);
+        assert_eq!(sel.len(), m);
+        assert_eq!(sel[0], 0, "selection starts at index 0, like exact FPS");
+        let mut uniq = sel.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), m, "selected indices are distinct");
+        assert!(uniq.iter().all(|&i| i < pts.len()));
+    }
+
+    #[test]
+    fn fps_approx_falls_back_to_exact() {
+        // Small clouds: stratification cannot pay for itself.
+        let small = pseudo_points(256, 9);
+        assert_eq!(INDEXED.fps_approx(&small, 64), GOLDEN.farthest_point_sampling(&small, 64));
+        // The trait default is exact FPS.
+        assert_eq!(GOLDEN.fps_approx(&small, 64), GOLDEN.farthest_point_sampling(&small, 64));
+        // Dense sampling ratios (2m ≥ n): representatives would not
+        // oversample the target, so exact runs instead.
+        let pts = pseudo_points(4096, 31);
+        assert_eq!(INDEXED.fps_approx(&pts, 3000), GOLDEN.farthest_point_sampling(&pts, 3000));
+    }
+
+    #[test]
+    fn morton_slots_are_a_permutation() {
+        let slots = GridIndex::morton_slots([3, 4, 5]);
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60u32).collect::<Vec<_>>());
+        // The Z-curve keeps the all-zero cell first.
+        assert_eq!(slots[0], 0);
+    }
+
+    #[test]
+    fn fused_kernel_map_emission_order_matches_golden() {
+        // Bit-for-bit table equality, including grouping and the
+        // within-group output order the cache simulator binary-searches.
+        let cloud = pseudo_cloud(500, 77, 1);
+        for ks in [2usize, 3] {
+            let got = INDEXED.kernel_map(&cloud, &cloud, ks);
+            let want = GOLDEN.kernel_map(&cloud, &cloud, ks);
+            assert_eq!(got.to_entries(), want.to_entries(), "kernel_size={ks}");
+        }
+        let (coarse, _) = cloud.downsample(2);
+        let got = INDEXED.kernel_map(&cloud, &coarse, 2);
+        let want = GOLDEN.kernel_map(&cloud, &coarse, 2);
+        assert_eq!(got.to_entries(), want.to_entries());
     }
 
     #[test]

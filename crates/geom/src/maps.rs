@@ -5,6 +5,12 @@
 //! multiplies the input feature by the weight matrix selected by the weight
 //! index and aggregates the partial sum into the output point.
 //!
+//! [`MapTable`] stores the maps in **structure-of-arrays** form — one
+//! contiguous input-index array and one output-index array, CSR-sliced by
+//! weight group — so the gather–GEMM–scatter executor consumes index
+//! slices directly ([`MapGroup::inputs`] feeds the gather with zero
+//! per-group allocation) and group scans stream linear memory.
+//!
 //! [`KernelMap`] packages a [`MapTable`] together with the geometry it
 //! connects — the exact form the gather–GEMM–scatter executor consumes
 //! for SparseConv layers (unit stride, stride-`s` downsampling, and
@@ -32,9 +38,67 @@ impl MapEntry {
     }
 }
 
+/// The maps of one weight group, viewed as parallel index slices.
+///
+/// `inputs()[i] -> outputs()[i]` is the `i`-th map of the group; the
+/// slices borrow the table's SoA storage, so gathering by
+/// [`MapGroup::inputs`] costs no allocation or copy.
+#[derive(Copy, Clone, Debug)]
+pub struct MapGroup<'a> {
+    inputs: &'a [u32],
+    outputs: &'a [u32],
+    weight: u16,
+}
+
+impl<'a> MapGroup<'a> {
+    /// Input point index of every map in the group, in emission order.
+    pub fn inputs(&self) -> &'a [u32] {
+        self.inputs
+    }
+
+    /// Output point index of every map in the group, in emission order
+    /// (ascending for tables built by the mapping backends).
+    pub fn outputs(&self) -> &'a [u32] {
+        self.outputs
+    }
+
+    /// The weight index shared by every map in the group.
+    pub fn weight(&self) -> u16 {
+        self.weight
+    }
+
+    /// Number of maps in the group.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the group has no maps.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The `i`-th map of the group as a [`MapEntry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn entry(&self, i: usize) -> MapEntry {
+        MapEntry::new(self.inputs[i], self.outputs[i], self.weight)
+    }
+
+    /// Iterates the group's maps as [`MapEntry`] values.
+    pub fn iter(&self) -> impl Iterator<Item = MapEntry> + 'a {
+        let weight = self.weight;
+        self.inputs
+            .iter()
+            .zip(self.outputs)
+            .map(move |(&input, &output)| MapEntry::new(input, output, weight))
+    }
+}
+
 /// A complete set of maps for one convolution layer, stored grouped by
 /// weight index (the *gather by weight* order of the CPU/GPU flow and of
-/// the weight-stationary inner loop of the accelerator).
+/// the weight-stationary inner loop of the accelerator) in SoA form.
 ///
 /// # Examples
 ///
@@ -44,32 +108,32 @@ impl MapEntry {
 ///     vec![MapEntry::new(0, 0, 1), MapEntry::new(1, 0, 0)],
 ///     2,
 /// );
-/// assert_eq!(t.group(0), &[MapEntry::new(1, 0, 0)]);
-/// assert_eq!(t.group(1), &[MapEntry::new(0, 0, 1)]);
+/// assert_eq!(t.group(0).inputs(), &[1]);
+/// assert_eq!(t.group(1).entry(0), MapEntry::new(0, 0, 1));
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct MapTable {
-    entries: Vec<MapEntry>,
-    /// CSR-style offsets: group `w` is `entries[offsets[w]..offsets[w+1]]`.
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+    /// CSR-style offsets: group `w` is index range `offsets[w]..offsets[w+1]`.
     offsets: Vec<usize>,
 }
 
 impl MapTable {
     /// Builds a table from unordered entries, grouping by weight index and
-    /// keeping the original relative order within a group (stable sort, so
-    /// the map order inside a weight group is the order the mapping
-    /// operation emitted — which for the merge-sort based unit is output
-    /// coordinate order).
+    /// keeping the original relative order within a group (stable counting
+    /// sort, so the map order inside a weight group is the order the
+    /// mapping operation emitted — which for the merge-sort based unit is
+    /// output coordinate order).
     ///
     /// # Panics
     ///
     /// Panics if any entry's `weight >= n_weights`.
-    pub fn from_entries(mut entries: Vec<MapEntry>, n_weights: usize) -> Self {
+    pub fn from_entries(entries: Vec<MapEntry>, n_weights: usize) -> Self {
         assert!(
             entries.iter().all(|e| (e.weight as usize) < n_weights),
             "weight index out of range"
         );
-        entries.sort_by_key(|e| e.weight);
         let mut offsets = vec![0usize; n_weights + 1];
         for e in &entries {
             offsets[e.weight as usize + 1] += 1;
@@ -77,7 +141,34 @@ impl MapTable {
         for w in 0..n_weights {
             offsets[w + 1] += offsets[w];
         }
-        MapTable { entries, offsets }
+        let mut cursor = offsets.clone();
+        let mut inputs = vec![0u32; entries.len()];
+        let mut outputs = vec![0u32; entries.len()];
+        for e in &entries {
+            let at = cursor[e.weight as usize];
+            inputs[at] = e.input;
+            outputs[at] = e.output;
+            cursor[e.weight as usize] += 1;
+        }
+        MapTable { inputs, outputs, offsets }
+    }
+
+    /// Builds a table directly from SoA storage already grouped by weight:
+    /// `inputs`/`outputs` are parallel arrays and `offsets` the CSR group
+    /// boundaries (`offsets.len() == n_weights + 1`). This is the
+    /// allocation-free path the fused kernel-map builder uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays disagree in length or `offsets` is not a
+    /// monotone prefix-sum ending at the array length.
+    pub fn from_soa(inputs: Vec<u32>, outputs: Vec<u32>, offsets: Vec<usize>) -> Self {
+        assert_eq!(inputs.len(), outputs.len(), "SoA arrays must be parallel");
+        assert!(!offsets.is_empty(), "offsets must hold at least n_weights + 1 = 1 entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        assert_eq!(*offsets.last().expect("non-empty"), inputs.len(), "offsets must cover arrays");
+        MapTable { inputs, outputs, offsets }
     }
 
     /// Number of weight groups.
@@ -87,26 +178,47 @@ impl MapTable {
 
     /// Total number of maps.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.inputs.len()
     }
 
     /// Whether there are no maps.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.inputs.is_empty()
     }
 
-    /// The maps associated with weight `w`.
+    /// The maps associated with weight `w`, as SoA index slices.
     ///
     /// # Panics
     ///
     /// Panics if `w >= n_weights`.
-    pub fn group(&self, w: usize) -> &[MapEntry] {
-        &self.entries[self.offsets[w]..self.offsets[w + 1]]
+    pub fn group(&self, w: usize) -> MapGroup<'_> {
+        let range = self.offsets[w]..self.offsets[w + 1];
+        MapGroup {
+            inputs: &self.inputs[range.clone()],
+            outputs: &self.outputs[range],
+            weight: w as u16,
+        }
     }
 
-    /// All entries, grouped by weight.
-    pub fn entries(&self) -> &[MapEntry] {
-        &self.entries
+    /// Every map's input point index, grouped by weight.
+    pub fn inputs(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// Every map's output point index, grouped by weight.
+    pub fn outputs(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// Iterates all maps in (weight, emission) order as [`MapEntry`]s.
+    pub fn iter(&self) -> impl Iterator<Item = MapEntry> + '_ {
+        (0..self.n_weights()).flat_map(move |w| self.group(w).iter())
+    }
+
+    /// Materializes all maps in (weight, emission) order (allocates; hot
+    /// paths should iterate [`MapTable::group`] slices instead).
+    pub fn to_entries(&self) -> Vec<MapEntry> {
+        self.iter().collect()
     }
 
     /// Map counts per weight group.
@@ -122,7 +234,6 @@ impl MapTable {
     pub fn transpose(&self) -> MapTable {
         let n_w = self.n_weights();
         let entries = self
-            .entries
             .iter()
             .map(|e| MapEntry::new(e.output, e.input, (n_w - 1 - e.weight as usize) as u16))
             .collect();
@@ -132,7 +243,7 @@ impl MapTable {
     /// Returns entries sorted in canonical `(weight, output, input)` order;
     /// used by tests to compare tables produced by different algorithms.
     pub fn canonicalized(&self) -> Vec<MapEntry> {
-        let mut v = self.entries.clone();
+        let mut v = self.to_entries();
         v.sort_by_key(|e| (e.weight, e.output, e.input));
         v
     }
@@ -140,13 +251,13 @@ impl MapTable {
     /// Average number of times each distinct input point is referenced
     /// (feature-reuse factor; drives the cache hit rate of Fig. 18).
     pub fn input_reuse(&self) -> f64 {
-        if self.entries.is_empty() {
+        if self.inputs.is_empty() {
             return 0.0;
         }
-        let mut inputs: Vec<u32> = self.entries.iter().map(|e| e.input).collect();
+        let mut inputs = self.inputs.clone();
         inputs.sort_unstable();
         inputs.dedup();
-        self.entries.len() as f64 / inputs.len() as f64
+        self.inputs.len() as f64 / inputs.len() as f64
     }
 }
 
@@ -289,11 +400,8 @@ impl KernelMap {
     /// relies on to index feature rows without bounds failures.
     pub fn is_within_bounds(&self) -> bool {
         self.table.n_weights() == self.kernel_volume
-            && self.table.entries().iter().all(|e| {
-                (e.input as usize) < self.n_in
-                    && (e.output as usize) < self.n_out
-                    && (e.weight as usize) < self.kernel_volume
-            })
+            && self.table.inputs().iter().all(|&i| (i as usize) < self.n_in)
+            && self.table.outputs().iter().all(|&o| (o as usize) < self.n_out)
     }
 }
 
@@ -329,8 +437,36 @@ mod tests {
             vec![MapEntry::new(5, 0, 1), MapEntry::new(3, 0, 1), MapEntry::new(4, 0, 0)],
             2,
         );
-        assert_eq!(t.group(1)[0].input, 5);
-        assert_eq!(t.group(1)[1].input, 3);
+        assert_eq!(t.group(1).inputs(), &[5, 3]);
+        assert_eq!(t.group(1).entry(0).input, 5);
+        assert_eq!(t.group(1).entry(1).input, 3);
+    }
+
+    #[test]
+    fn soa_roundtrips_through_entries() {
+        let t = table();
+        let rebuilt = MapTable::from_entries(t.to_entries(), t.n_weights());
+        assert_eq!(t, rebuilt);
+        assert_eq!(t.inputs().len(), t.len());
+        assert_eq!(t.outputs().len(), t.len());
+        assert_eq!(t.iter().count(), t.len());
+    }
+
+    #[test]
+    fn from_soa_matches_from_entries() {
+        let t = table();
+        let soa = MapTable::from_soa(
+            t.inputs().to_vec(),
+            t.outputs().to_vec(),
+            (0..=t.n_weights()).map(|w| t.counts()[..w].iter().sum()).collect(),
+        );
+        assert_eq!(t, soa);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must cover arrays")]
+    fn from_soa_rejects_short_offsets() {
+        let _ = MapTable::from_soa(vec![1, 2], vec![0, 0], vec![0, 1]);
     }
 
     #[test]
@@ -339,7 +475,7 @@ mod tests {
         let tt = t.transpose();
         assert_eq!(tt.len(), t.len());
         // (0 -> 1, w2) becomes (1 -> 0, w0) with 3 weights.
-        assert!(tt.group(0).contains(&MapEntry::new(1, 0, 0)));
+        assert!(tt.group(0).iter().any(|e| e == MapEntry::new(1, 0, 0)));
         // Transposing twice is the identity.
         assert_eq!(tt.transpose().canonicalized(), t.canonicalized());
     }
@@ -377,7 +513,7 @@ mod tests {
             // Center offset of a 3³ kernel maps every voxel to itself.
             let center = km.table().group(13);
             assert_eq!(center.len(), c.len());
-            assert!(center.iter().all(|e| e.input == e.output));
+            assert_eq!(center.inputs(), center.outputs());
         }
 
         #[test]
@@ -389,7 +525,7 @@ mod tests {
             assert!(km.is_within_bounds());
             // A kernel-2/stride-2 conv touches every input exactly once.
             assert_eq!(km.table().len(), c.len());
-            let mut inputs: Vec<u32> = km.table().entries().iter().map(|e| e.input).collect();
+            let mut inputs: Vec<u32> = km.table().inputs().to_vec();
             inputs.sort_unstable();
             inputs.dedup();
             assert_eq!(inputs.len(), c.len());

@@ -15,12 +15,18 @@
 //! typed [`ExecError`] from [`Executor::try_run`].
 
 use pointacc_geom::index::{default_backend, dist_key, MappingBackend};
+use pointacc_geom::par::{parallel_map_with, worker_threads};
 use pointacc_geom::{golden, FeatureMatrix, KernelMap, MapTable, Point3, PointSet, VoxelCloud};
 
 use crate::{
     Aggregation, ComputeKind, Domain, ExecError, LayerTrace, MappingOp, Network, NetworkTrace, Op,
     WeightGen,
 };
+
+/// MAC count below which the gather-GEMM-scatter loop stays serial:
+/// worker spawns and psum-buffer traffic cost more than the matmuls
+/// they would split.
+const CONV_PAR_WORK: usize = 1 << 20;
 
 /// Execution fidelity.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -32,6 +38,25 @@ pub enum ExecMode {
     /// feature-space k-NN graph is built on coordinates instead (same
     /// size, different edges). Use for large profiling runs.
     TraceOnly,
+}
+
+/// Execution tuning knobs, orthogonal to fidelity ([`ExecMode`]) and the
+/// weight seed. The default is the exact, auto-threaded configuration;
+/// every knob here trades nothing away silently — approximate FPS must
+/// be opted into explicitly, and worker-count overrides change
+/// wall-clock only (the conv reduction is deterministic by
+/// construction).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Run SetAbstraction downsampling through the backend's
+    /// [`MappingBackend::fps_approx`] instead of exact FPS. Off by
+    /// default; when on, sampled centroids may differ from exact FPS
+    /// within the backend's documented coverage-radius bound.
+    pub approx_fps: bool,
+    /// Worker-thread count for the parallel gather-GEMM-scatter path
+    /// (`None` = the process-wide [`worker_threads`] count). `Some(1)`
+    /// forces the serial path; any value yields bit-identical features.
+    pub conv_workers: Option<usize>,
 }
 
 /// Result of executing a network.
@@ -63,6 +88,7 @@ pub struct Executor {
     mode: ExecMode,
     weights: WeightGen,
     backend: &'static dyn MappingBackend,
+    options: ExecOptions,
 }
 
 impl std::fmt::Debug for Executor {
@@ -71,6 +97,7 @@ impl std::fmt::Debug for Executor {
             .field("mode", &self.mode)
             .field("weights", &self.weights)
             .field("backend", &self.backend.name())
+            .field("options", &self.options)
             .finish()
     }
 }
@@ -120,7 +147,14 @@ impl Executor {
     /// backend benchmarks). Backends are bit-identical, so this changes
     /// wall-clock only, never traces or features.
     pub fn with_backend(mode: ExecMode, seed: u64, backend: &'static dyn MappingBackend) -> Self {
-        Executor { mode, weights: WeightGen::new(seed), backend }
+        Executor { mode, weights: WeightGen::new(seed), backend, options: ExecOptions::default() }
+    }
+
+    /// Returns this executor with the given tuning knobs (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Runs `net` on `points`, returning outputs and trace.
@@ -455,6 +489,14 @@ impl Executor {
 
     /// Gather-matmul-scatter over one map table (functional reference for
     /// both SparseConv and SparseConvTr).
+    ///
+    /// Gathers index straight off the table's SoA slices (no per-group
+    /// index materialization). Above [`CONV_PAR_WORK`] the per-weight
+    /// gather+GEMM partials run on [`parallel_map_with`]; the scatter
+    /// stays a single serial pass in ascending weight order, so the
+    /// float-addition order into every output row — and therefore every
+    /// feature bit — is identical to the serial path for any worker
+    /// count.
     fn sparse_conv_compute(
         &self,
         ctx: &mut Ctx,
@@ -466,17 +508,26 @@ impl Executor {
         if self.mode != ExecMode::Full {
             return FeatureMatrix::zeros(n_out, out_ch);
         }
+        let groups: Vec<usize> =
+            (0..maps.n_weights()).filter(|&w| !maps.group(w).is_empty()).collect();
+        let feats = &ctx.feats;
+        let layer_idx = ctx.layer_idx;
+        let psum_of = |&w: &usize| -> FeatureMatrix {
+            let wm = self.weights.matrix(layer_idx, w, in_ch, out_ch);
+            feats.gather(maps.group(w).inputs()).matmul(&wm)
+        };
+        let work = maps.len().saturating_mul(in_ch).saturating_mul(out_ch);
+        let workers = self.options.conv_workers.unwrap_or_else(worker_threads);
+        let psums: Vec<FeatureMatrix> = if workers > 1 && groups.len() > 1 && work >= CONV_PAR_WORK
+        {
+            parallel_map_with(workers, &groups, psum_of)
+        } else {
+            groups.iter().map(psum_of).collect()
+        };
         let mut out = FeatureMatrix::zeros(n_out, out_ch);
-        for w in 0..maps.n_weights() {
-            let group = maps.group(w);
-            if group.is_empty() {
-                continue;
-            }
-            let wm = self.weights.matrix(ctx.layer_idx, w, in_ch, out_ch);
-            let gathered = ctx.feats.gather(&group.iter().map(|e| e.input).collect::<Vec<_>>());
-            let psums = gathered.matmul(&wm);
-            for (r, e) in group.iter().enumerate() {
-                out.scatter_add(e.output as usize, &psums, r);
+        for (&w, psum) in groups.iter().zip(&psums) {
+            for (r, &o) in maps.group(w).outputs().iter().enumerate() {
+                out.scatter_add(o as usize, psum, r);
             }
         }
         out.relu_in_place();
@@ -506,7 +557,11 @@ impl Executor {
         let (centroids, nbrs, mapping, k) = match spec {
             Some((n_out, radius, k)) => {
                 let n_out = n_out.min(pts.len());
-                let sel = self.backend.farthest_point_sampling(&pts, n_out);
+                let sel = if self.options.approx_fps {
+                    self.backend.fps_approx(&pts, n_out)
+                } else {
+                    self.backend.farthest_point_sampling(&pts, n_out)
+                };
                 let centroids = pts.select(&sel);
                 let nbrs = self.backend.ball_query_padded(&pts, &centroids, radius * radius, k);
                 let mapping = vec![

@@ -43,7 +43,7 @@ mod weights;
 pub mod zoo;
 
 pub use error::ExecError;
-pub use exec::{ExecMode, ExecOutput, Executor};
+pub use exec::{ExecMode, ExecOptions, ExecOutput, Executor};
 pub use layer::{Domain, Op};
 pub use network::Network;
 pub use trace::{Aggregation, ComputeKind, LayerTrace, MappingOp, NetworkTrace, TraceKey};

@@ -4,7 +4,7 @@
 
 use pointacc_data::Dataset;
 use pointacc_geom::FeatureMatrix;
-use pointacc_nn::{zoo, ExecMode, Executor};
+use pointacc_nn::{zoo, ExecMode, ExecOptions, Executor};
 use pointacc_sim::SystolicArray;
 
 #[test]
@@ -88,6 +88,50 @@ fn minkowski_net_features_are_seed_deterministic() {
     assert_eq!(a.features, b.features, "same seed must be bit-identical");
     let c = Executor::new(ExecMode::Full, 10).run(&net, &pts);
     assert_ne!(a.features, c.features, "different weight seeds must differ");
+}
+
+#[test]
+fn parallel_sparse_conv_is_bit_identical_across_worker_counts() {
+    // The gather-GEMM-scatter loop computes per-weight partials in
+    // parallel but scatters them in one serial pass in ascending weight
+    // order, so the float-addition order — and every feature bit — must
+    // not depend on the worker count. `conv_workers` overrides the
+    // process-wide POINTACC_THREADS count (read once per process), so a
+    // single test run covers serial, two-way and wide configurations.
+    let pts = Dataset::S3dis.generate(13, 500);
+    let net = zoo::minkowski_net();
+    let serial = Executor::new(ExecMode::Full, 13)
+        .with_options(ExecOptions { conv_workers: Some(1), ..Default::default() })
+        .run(&net, &pts);
+    for workers in [2usize, 3, 8] {
+        let parallel = Executor::new(ExecMode::Full, 13)
+            .with_options(ExecOptions { conv_workers: Some(workers), ..Default::default() })
+            .run(&net, &pts);
+        assert_eq!(
+            serial.features, parallel.features,
+            "{workers}-worker conv features diverged from serial"
+        );
+    }
+    // The default (auto-threaded) executor matches too.
+    let auto = Executor::new(ExecMode::Full, 13).run(&net, &pts);
+    assert_eq!(serial.features, auto.features);
+}
+
+#[test]
+fn approx_fps_option_keeps_shapes_and_determinism() {
+    // Opting into approximate FPS may move SetAbstraction centroids
+    // (within the documented coverage bound) but never changes tensor
+    // shapes, and stays seed-deterministic.
+    let pts = Dataset::ModelNet40.generate(21, 512);
+    let net = zoo::pointnet_pp_classification();
+    let opts = ExecOptions { approx_fps: true, ..Default::default() };
+    let a = Executor::new(ExecMode::Full, 3).with_options(opts).run(&net, &pts);
+    let b = Executor::new(ExecMode::Full, 3).with_options(opts).run(&net, &pts);
+    assert_eq!(a.features, b.features, "approx FPS must be deterministic");
+    let exact = Executor::new(ExecMode::Full, 3).run(&net, &pts);
+    assert_eq!(a.features.rows(), exact.features.rows());
+    assert_eq!(a.features.cols(), exact.features.cols());
+    assert_eq!(a.trace.layers.len(), exact.trace.layers.len());
 }
 
 #[test]
