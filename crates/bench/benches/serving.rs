@@ -61,6 +61,7 @@ fn bench_admission_path(c: &mut Criterion) {
             scale: SCALE,
             policy: AdmissionPolicy::shed_after(Duration::from_millis(10)),
             capacities: Some(vec![1e6, 5e5]),
+            ..FrontendOptions::default()
         },
     );
     let n = 256u64;

@@ -49,4 +49,8 @@ fn main() {
         run.geomean_energy_ratio(0, 2),
         run.geomean_energy_ratio(0, 3)
     );
+    // `compiles=0` here means every trace came from memory or the
+    // persistent artifact tier (POINTACC_ARTIFACT_DIR) — the warm-start
+    // criterion CI greps for.
+    println!("trace cache: {}", pointacc_bench::cache::global().stats().accounting());
 }

@@ -49,4 +49,5 @@ fn main() {
         run.geomean_energy_ratio(0, 2),
         run.geomean_energy_ratio(0, 3)
     );
+    println!("trace cache: {}", pointacc_bench::cache::global().stats().accounting());
 }

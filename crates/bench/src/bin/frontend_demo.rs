@@ -52,8 +52,17 @@ fn main() {
             ..AdmissionPolicy::shed_after(shed_bound)
         },
         capacities: Some(probe.capacities().to_vec()),
+        ..Default::default()
     };
     let frontend = Frontend::new(&engines, &benchmarks, options);
+
+    // One cache across the whole sweep (a long-lived server's shape):
+    // later load levels reuse earlier compiles, and `reset_stats` at
+    // each level boundary keeps the per-level accounting honest.
+    let mut cache = pointacc_bench::cache::TraceCache::new();
+    if let Some(dir) = pointacc_bench::artifact_dir() {
+        cache = cache.with_artifact_dir(dir);
+    }
 
     println!("== Admission-control demo: shed rate vs offered load (scale {scale}) ==\n");
     for (engine, capacity) in engines.iter().zip(frontend.capacities()) {
@@ -69,8 +78,15 @@ fn main() {
     let n_requests = 64usize;
     let seeds = [42u64, 43, 44];
     println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>12}",
-        "load", "submitted", "completed", "rejected", "expired", "shed %", "utilization"
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>12} {:>9}",
+        "load",
+        "submitted",
+        "completed",
+        "rejected",
+        "expired",
+        "shed %",
+        "utilization",
+        "compiles"
     );
     let mut shed_rates = Vec::new();
     for load in [0.5, 1.0, 2.0, 4.0] {
@@ -86,14 +102,15 @@ fn main() {
                 req
             }
         });
-        let report = frontend.run_with_clock(&clock, paced(requests, &clock, interarrival));
+        cache.reset_stats();
+        let report = frontend.run_on_cache(&clock, &cache, paced(requests, &clock, interarrival));
         assert!(report.accounting_balances(), "every submitted request must be accounted for");
         let shed = report.rejected as f64 / report.submitted as f64;
         shed_rates.push(shed);
         let mean_util = report.utilization_per_shard.iter().map(|(_, u)| u).sum::<f64>()
             / report.utilization_per_shard.len() as f64;
         println!(
-            "{:>7.1}x {:>10} {:>10} {:>10} {:>10} {:>7.1}% {:>11.2}x",
+            "{:>7.1}x {:>10} {:>10} {:>10} {:>10} {:>7.1}% {:>11.2}x {:>9}",
             load,
             report.submitted,
             report.completed,
@@ -101,9 +118,11 @@ fn main() {
             report.expired,
             shed * 100.0,
             mean_util,
+            report.cache.compiles,
         );
     }
     println!();
+    println!("trace cache (last load level): {}", cache.stats().accounting());
     assert!(
         shed_rates.first() <= shed_rates.last(),
         "shed rate must not shrink as offered load grows: {shed_rates:?}"

@@ -69,9 +69,8 @@ fn main() {
         report.queue_p99.as_secs_f64() * 1e3
     );
     println!(
-        "trace cache {} hits / {} misses ({:.0}% hit rate)",
-        report.cache.hits,
-        report.cache.misses,
+        "trace cache {} ({:.0}% hit rate)",
+        report.cache.accounting(),
         report.cache.hit_rate() * 100.0
     );
     println!("\nPer-shard completions (modeled utilization):");

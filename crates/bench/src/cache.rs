@@ -9,46 +9,105 @@
 //! same key block on one in-flight build (each trace compiles exactly
 //! once), and hits return a shared [`Arc`] without copying layer data.
 //!
-//! [`global`] is the cache the [`Grid`](crate::harness::Grid) uses;
-//! independent subsystems can own a private [`TraceCache`] when they
-//! need isolated hit-rate accounting — [`serve`](crate::serve::serve)
-//! does exactly that, so its reported hit rate reflects one request
-//! stream and is **not** warmed by earlier grid runs.
+//! # Tiers
 //!
-//! The cache never evicts on its own: every build outcome — a compiled
-//! trace, or the [`TraceBuildError`] of a key that cannot compile
-//! (negative caching, via [`TraceCache::try_get_or_build`]) — is
-//! retained for the life of the process (or cache). Long-lived drivers
-//! sweeping many seeds/scales should call [`TraceCache::clear`] between
-//! sweeps.
+//! The in-memory tier is unbounded by default; [`TraceCache::bounded`]
+//! caps it, evicting the least-recently-used *completed* outcome when a
+//! new key would exceed the capacity (in-flight builds are never
+//! evicted — if every slot is mid-build the cache overflows temporarily
+//! rather than tearing a build out from under its waiters).
+//!
+//! [`TraceCache::with_artifact_dir`] adds an opt-in disk tier backed by
+//! [`pointacc_nn::artifact`]: a miss first tries to load a persisted
+//! artifact (a *disk hit* — no compile), and every fresh compile is
+//! persisted back with an atomic write-rename, so concurrent processes
+//! can share one artifact directory safely. A corrupt or wrong-version
+//! artifact is simply recompiled (and rewritten); it never fails the
+//! lookup.
+//!
+//! # Failure caching
+//!
+//! [`TraceCache::try_get_or_build`] caches build failures (negative
+//! caching) so a key that cannot compile keeps failing cheaply. What
+//! happens on the *next* request for a failed key is policy-driven
+//! ([`FailurePolicy`]): [`FailurePolicy::Retain`] (the default) keeps
+//! returning the cached error — right for deterministic failures like
+//! an unknown dataset — while [`FailurePolicy::RetryOnRequest`] drops
+//! the failed slot and rebuilds, so a *transient* fault does not make
+//! the key permanently unservable. [`TraceCache::invalidate`] gives
+//! callers per-key recovery under either policy.
+//!
+//! [`global`] is the cache the [`Grid`](crate::harness::Grid) uses; it
+//! picks up its disk tier from `POINTACC_ARTIFACT_DIR` (see
+//! [`crate::artifact_dir`]). Independent subsystems can own a private
+//! [`TraceCache`] when they need isolated hit-rate accounting —
+//! [`serve`](crate::serve::serve) does exactly that, so its reported
+//! hit rate reflects one request stream and is **not** warmed by
+//! earlier grid runs.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::TraceBuildError;
-use pointacc_nn::{NetworkTrace, TraceKey};
+use pointacc_nn::{artifact, NetworkTrace, TraceKey};
 
-/// Hit/miss counters of one cache (a consistent snapshot).
+/// Locks `m`, recovering from poison: the cache's state is plain maps
+/// and counters mutated only under short critical sections, so a thread
+/// that panicked while holding the lock cannot have left them torn —
+/// propagating the poison would turn one panicking builder into a
+/// process-wide cache outage for every later lookup.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a [`TraceCache`] does with a key whose cached outcome is a
+/// [`TraceBuildError`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Keep returning the cached error without re-running the builder.
+    /// Right for deterministic failures (an unknown dataset will not
+    /// start existing), and what exact hit/miss accounting expects.
+    #[default]
+    Retain,
+    /// Drop the failed slot when the key is requested again and rebuild
+    /// from scratch (counted as a miss). Right for serving layers where
+    /// a build failure may be transient and availability beats
+    /// amortization.
+    RetryOnRequest,
+}
+
+/// Counters of one cache (a consistent snapshot).
 ///
-/// "Hit" means the lookup skipped a build — including lookups served
-/// from a *negatively cached* failure ([`TraceCache::try_get_or_build`]).
-/// The counters measure build amortization, not serving health; a
-/// failure-heavy request stream shows a high hit rate while completing
-/// nothing, so read them alongside
+/// "Hit" means the memory tier skipped a build — including lookups
+/// served from a *negatively cached* failure
+/// ([`TraceCache::try_get_or_build`]). A miss is settled by either a
+/// disk-tier load (`disk_hits`) or a builder run (`compiles`), so
+/// `misses == disk_hits + compiles` whenever no builder panicked
+/// mid-build. The counters measure build amortization, not serving
+/// health; a failure-heavy request stream shows a high hit rate while
+/// completing nothing, so read them alongside
 /// [`ServeReport::failed`](crate::serve::ServeReport::failed).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from an already-cached outcome (compiled trace
     /// **or** cached build failure).
     pub hits: u64,
-    /// Lookups that had to run (or wait on a concurrent run of) the
-    /// builder for a new key.
+    /// Lookups that had to settle a fresh slot — by loading an
+    /// artifact or running (or waiting on a concurrent run of) the
+    /// builder.
     pub misses: u64,
+    /// Misses settled by loading a persisted artifact instead of
+    /// compiling (always 0 without [`TraceCache::with_artifact_dir`]).
+    pub disk_hits: u64,
+    /// Builder runs, successful or failed. Zero across a whole run
+    /// means every trace came from memory or disk — a warm start.
+    pub compiles: u64,
 }
 
 impl CacheStats {
-    /// Fraction of lookups served from cache; 0 when nothing was looked
-    /// up yet.
+    /// Fraction of lookups served from the memory tier; 0 when nothing
+    /// was looked up yet.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -57,27 +116,101 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// One-line accounting summary, stable enough to grep in CI
+    /// (`compiles=0` is the warm-start criterion).
+    pub fn accounting(&self) -> String {
+        format!(
+            "hits={} misses={} disk_hits={} compiles={}",
+            self.hits, self.misses, self.disk_hits, self.compiles
+        )
+    }
 }
 
 /// One cache slot: a once-cell so concurrent misses on the same key
 /// serialize behind a single build. Failed builds are cached too
-/// (negative caching): a key that cannot compile keeps returning its
-/// [`TraceBuildError`] without re-running the executor.
+/// (negative caching); see [`FailurePolicy`] for what happens when a
+/// failed key is requested again.
 type Slot = Arc<OnceLock<Result<Arc<NetworkTrace>, TraceBuildError>>>;
 
+/// A slot plus its recency stamp for LRU eviction.
+struct SlotEntry {
+    slot: Slot,
+    last_used: u64,
+}
+
+/// The memory tier: slots plus a logical clock advanced per lookup.
+#[derive(Default)]
+struct SlotMap {
+    map: HashMap<TraceKey, SlotEntry>,
+    tick: u64,
+}
+
+impl SlotMap {
+    /// Evicts least-recently-used *completed* entries until the map
+    /// fits `capacity`. In-flight builds are never evicted; if only
+    /// in-flight entries remain the map overflows temporarily.
+    fn evict_to(&mut self, capacity: usize) {
+        while self.map.len() > capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, e)| e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 /// A concurrent, compile-once cache of network traces keyed by
-/// [`TraceKey`].
+/// [`TraceKey`], with optional bounded LRU eviction and an optional
+/// persistent artifact tier (see the module docs).
 #[derive(Default)]
 pub struct TraceCache {
-    slots: Mutex<HashMap<TraceKey, Slot>>,
+    slots: Mutex<SlotMap>,
     stats: Mutex<CacheStats>,
     compiles: Mutex<HashMap<TraceKey, u64>>,
+    capacity: Option<usize>,
+    artifact_dir: Option<PathBuf>,
+    failure_policy: FailurePolicy,
 }
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty cache: unbounded memory tier, no disk tier, failures
+    /// retained ([`FailurePolicy::Retain`]).
     pub fn new() -> Self {
         TraceCache::default()
+    }
+
+    /// Caps the memory tier at `capacity` cached outcomes, evicting the
+    /// least-recently-used completed entry when a new key would exceed
+    /// it. An evicted trace reloads from the artifact tier (when
+    /// configured) instead of recompiling.
+    pub fn bounded(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Adds the persistent artifact tier rooted at `dir` (created on
+    /// first save): misses try [`artifact::load`] before compiling, and
+    /// fresh compiles are persisted via [`artifact::save`]'s atomic
+    /// write-rename, so the directory can be shared across processes.
+    pub fn with_artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets what happens when a negatively cached key is requested
+    /// again (default [`FailurePolicy::Retain`]).
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
     }
 
     /// Returns the trace of `key`, building it with `build` on the first
@@ -86,9 +219,11 @@ impl TraceCache {
     ///
     /// # Panics
     ///
-    /// Panics if the key is negatively cached — an earlier
-    /// [`TraceCache::try_get_or_build`] for the same key failed. Fallible
-    /// callers (the serving layer) should use `try_get_or_build`.
+    /// Panics if the key is negatively cached under
+    /// [`FailurePolicy::Retain`] — an earlier
+    /// [`TraceCache::try_get_or_build`] for the same key failed.
+    /// Fallible callers (the serving layer) should use
+    /// `try_get_or_build`.
     pub fn get_or_build(
         &self,
         key: &TraceKey,
@@ -99,21 +234,39 @@ impl TraceCache {
 
     /// [`TraceCache::get_or_build`] with a fallible builder: the first
     /// request for `key` runs `build` exactly once and the outcome —
-    /// success **or** [`TraceBuildError`] — is cached, so a key that
-    /// cannot compile keeps failing cheaply instead of re-running the
-    /// executor per request.
+    /// success **or** [`TraceBuildError`] — is cached. A cached failure
+    /// is either returned or retried per the cache's [`FailurePolicy`].
     pub fn try_get_or_build(
         &self,
         key: &TraceKey,
         build: impl FnOnce() -> Result<NetworkTrace, TraceBuildError>,
     ) -> Result<Arc<NetworkTrace>, TraceBuildError> {
         let (slot, fresh_slot) = {
-            let mut slots = self.slots.lock().expect("trace cache poisoned");
-            match slots.get(key) {
-                Some(slot) => (slot.clone(), false),
+            let mut slots = lock(&self.slots);
+            slots.tick += 1;
+            let tick = slots.tick;
+            let retry_failures = self.failure_policy == FailurePolicy::RetryOnRequest;
+            match slots.map.get_mut(key) {
+                Some(entry) if retry_failures && matches!(entry.slot.get(), Some(Err(_))) => {
+                    // Transient-fault recovery: drop the failed outcome
+                    // and rebuild from scratch (a fresh miss).
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    entry.slot = slot.clone();
+                    entry.last_used = tick;
+                    (slot, true)
+                }
+                Some(entry) => {
+                    entry.last_used = tick;
+                    (entry.slot.clone(), false)
+                }
                 None => {
                     let slot: Slot = Arc::new(OnceLock::new());
-                    slots.insert(key.clone(), slot.clone());
+                    slots
+                        .map
+                        .insert(key.clone(), SlotEntry { slot: slot.clone(), last_used: tick });
+                    if let Some(capacity) = self.capacity {
+                        slots.evict_to(capacity);
+                    }
                     (slot, true)
                 }
             }
@@ -123,50 +276,92 @@ impl TraceCache {
         // found it present — "present" means the compile is already paid
         // for, which is what hit rate should measure.
         {
-            let mut stats = self.stats.lock().expect("trace cache poisoned");
+            let mut stats = lock(&self.stats);
             if fresh_slot {
                 stats.misses += 1;
             } else {
                 stats.hits += 1;
             }
         }
-        slot.get_or_init(|| {
-            let result = build().map(Arc::new);
-            *self.compiles.lock().expect("trace cache poisoned").entry(key.clone()).or_insert(0) +=
-                1;
-            result
-        })
-        .clone()
+        slot.get_or_init(|| self.settle_miss(key, build)).clone()
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Settles a fresh slot: disk tier first (a validated artifact is a
+    /// disk hit, no compile), then the builder, persisting its success
+    /// back to the artifact tier. Runs outside the slots lock, so slow
+    /// builds never block unrelated lookups.
+    fn settle_miss(
+        &self,
+        key: &TraceKey,
+        build: impl FnOnce() -> Result<NetworkTrace, TraceBuildError>,
+    ) -> Result<Arc<NetworkTrace>, TraceBuildError> {
+        if let Some(dir) = &self.artifact_dir {
+            // A corrupt, truncated, or wrong-version artifact is not a
+            // lookup failure — fall through and recompile (the save
+            // below atomically replaces the bad file).
+            if let Ok(Some(trace)) = artifact::load(dir, key) {
+                lock(&self.stats).disk_hits += 1;
+                return Ok(Arc::new(trace));
+            }
+        }
+        let result = build().map(Arc::new);
+        lock(&self.stats).compiles += 1;
+        *lock(&self.compiles).entry(key.clone()).or_insert(0) += 1;
+        if let (Some(dir), Ok(trace)) = (&self.artifact_dir, &result) {
+            // Persistence is best-effort: a full disk must not fail a
+            // lookup that already holds a perfectly good trace.
+            let _ = artifact::save(dir, key, trace);
+        }
+        result
+    }
+
+    /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock().expect("trace cache poisoned")
+        *lock(&self.stats)
     }
 
-    /// How many times `key`'s build ran, successful or failed (the cache
-    /// invariant is ≤ 1 for every key over the cache's lifetime).
+    /// Zeroes the counters and per-key compile counts. Figure binaries
+    /// sweeping seeds or scales call this at sweep boundaries so each
+    /// epoch's reported hit rate reflects that epoch alone instead of
+    /// mixing history.
+    pub fn reset_stats(&self) {
+        *lock(&self.stats) = CacheStats::default();
+        lock(&self.compiles).clear();
+    }
+
+    /// How many times `key`'s build ran since the last
+    /// [`TraceCache::reset_stats`], successful or failed (≤ 1 unless
+    /// the key was cleared, evicted, invalidated, or retried under
+    /// [`FailurePolicy::RetryOnRequest`]).
     pub fn compile_count(&self, key: &TraceKey) -> u64 {
-        self.compiles.lock().expect("trace cache poisoned").get(key).copied().unwrap_or(0)
+        lock(&self.compiles).get(key).copied().unwrap_or(0)
+    }
+
+    /// Drops the cached outcome of one `key` (success or failure); the
+    /// next request rebuilds it. An in-flight build is detached, not
+    /// cancelled: its waiters still receive its result, but the map
+    /// forgets it. Per-key recovery for callers that know a specific
+    /// cached failure was transient.
+    pub fn invalidate(&self, key: &TraceKey) {
+        lock(&self.slots).map.remove(key);
     }
 
     /// Evicts every cached trace, releasing the memory (traces still
     /// borrowed by live grids stay alive through their `Arc`s until
-    /// those drop). Hit/miss counters and per-key compile counts are
-    /// kept: `clear` trades memory for recompilation, it does not
-    /// rewrite history — after a clear, a re-requested key compiles
-    /// again and its [`TraceCache::compile_count`] exceeds 1.
-    ///
-    /// Long-lived drivers sweeping many seeds or scales should call
-    /// this between sweeps; the cache itself never evicts.
+    /// those drop). Counters and per-key compile counts are kept:
+    /// `clear` trades memory for recompilation, it does not rewrite
+    /// history — after a clear, a re-requested key compiles again and
+    /// its [`TraceCache::compile_count`] exceeds 1. Pair with
+    /// [`TraceCache::reset_stats`] to also start a fresh accounting
+    /// epoch.
     pub fn clear(&self) {
-        self.slots.lock().expect("trace cache poisoned").clear();
+        lock(&self.slots).map.clear();
     }
 
     /// Number of cached build outcomes (compiled traces plus negatively
     /// cached failures).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("trace cache poisoned").len()
+        lock(&self.slots).map.len()
     }
 
     /// Whether the cache holds no build outcomes.
@@ -176,10 +371,15 @@ impl TraceCache {
 }
 
 /// The process-wide cache shared by [`Grid`](crate::harness::Grid) runs
-/// and figure binaries.
+/// and figure binaries. Gains the persistent artifact tier when
+/// `POINTACC_ARTIFACT_DIR` is set (read once; see
+/// [`crate::artifact_dir`]).
 pub fn global() -> &'static TraceCache {
     static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
-    GLOBAL.get_or_init(TraceCache::new)
+    GLOBAL.get_or_init(|| match crate::artifact_dir() {
+        Some(dir) => TraceCache::new().with_artifact_dir(dir),
+        None => TraceCache::new(),
+    })
 }
 
 #[cfg(test)]
@@ -189,6 +389,10 @@ mod tests {
 
     fn tiny_trace(name: &str) -> NetworkTrace {
         NetworkTrace { network: name.into(), input_desc: "test".into(), layers: vec![] }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pointacc-cache-test-{}-{name}", std::process::id()))
     }
 
     #[test]
@@ -207,7 +411,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "hit must share the compiled trace");
         assert_eq!(builds.load(Ordering::SeqCst), 1);
         assert_eq!(cache.compile_count(&key), 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, disk_hits: 0, compiles: 1 });
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -219,7 +423,7 @@ mod tests {
         let c = cache.get_or_build(&TraceKey::new("net", 1, 0.25), || tiny_trace("c"));
         assert_eq!((a.network.as_str(), b.network.as_str(), c.network.as_str()), ("a", "b", "c"));
         assert_eq!(cache.len(), 3);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3, disk_hits: 0, compiles: 3 });
     }
 
     #[test]
@@ -245,6 +449,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 8);
         assert_eq!(stats.misses, 1);
+        assert_eq!(stats.compiles, 1);
     }
 
     #[test]
@@ -260,7 +465,23 @@ mod tests {
         let second = cache.get_or_build(&key, || tiny_trace("net"));
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(cache.compile_count(&key), 2);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, disk_hits: 0, compiles: 2 });
+    }
+
+    #[test]
+    fn reset_stats_starts_a_fresh_accounting_epoch() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("net", 1, 0.5);
+        cache.get_or_build(&key, || tiny_trace("net"));
+        cache.get_or_build(&key, || tiny_trace("net"));
+        assert_eq!(cache.stats().hits, 1);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.compile_count(&key), 0);
+        // The cached trace itself survives: the next lookup is a pure
+        // hit in the new epoch.
+        cache.get_or_build(&key, || tiny_trace("net"));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0, disk_hits: 0, compiles: 0 });
     }
 
     #[test]
@@ -276,11 +497,233 @@ mod tests {
         let first = cache.try_get_or_build(&key, build).unwrap_err();
         let second = cache.try_get_or_build(&key, build).unwrap_err();
         assert_eq!(first, second, "both lookups return the cached error");
-        assert_eq!(builds.load(Ordering::SeqCst), 1, "failed build runs once");
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "failed build runs once under Retain");
         assert_eq!(cache.compile_count(&key), 1);
         // A different key still compiles normally.
         let ok = cache.try_get_or_build(&TraceKey::new("fine", 1, 0.5), || Ok(tiny_trace("fine")));
         assert_eq!(ok.unwrap().network, "fine");
+    }
+
+    #[test]
+    fn retry_policy_recovers_from_a_transient_failure() {
+        use crate::UnknownDataset;
+        let cache = TraceCache::new().with_failure_policy(FailurePolicy::RetryOnRequest);
+        let key = TraceKey::new("flaky", 1, 0.5);
+        let builds = AtomicU64::new(0);
+        let build = || {
+            if builds.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(UnknownDataset { name: "transient".into() }.into())
+            } else {
+                Ok(tiny_trace("flaky"))
+            }
+        };
+        assert!(cache.try_get_or_build(&key, build).is_err());
+        // The re-request drops the failed slot and rebuilds.
+        let recovered = cache.try_get_or_build(&key, build).unwrap();
+        assert_eq!(recovered.network, "flaky");
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.compiles), (0, 2, 2));
+        // The recovered success is now cached like any other.
+        cache.try_get_or_build(&key, build).unwrap();
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_one_key_only() {
+        use crate::UnknownDataset;
+        let cache = TraceCache::new();
+        let bad = TraceKey::new("bad", 1, 0.5);
+        let good = TraceKey::new("good", 1, 0.5);
+        cache
+            .try_get_or_build(&bad, || Err(UnknownDataset { name: "blip".into() }.into()))
+            .unwrap_err();
+        cache.get_or_build(&good, || tiny_trace("good"));
+        cache.invalidate(&bad);
+        // The invalidated failure rebuilds even under Retain…
+        let ok = cache.try_get_or_build(&bad, || Ok(tiny_trace("bad"))).unwrap();
+        assert_eq!(ok.network, "bad");
+        // …while the untouched key is still a hit.
+        let builds = AtomicU64::new(0);
+        cache.get_or_build(&good, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("good")
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used_completed_entry() {
+        let cache = TraceCache::new().bounded(2);
+        let k1 = TraceKey::new("net", 1, 0.5);
+        let k2 = TraceKey::new("net", 2, 0.5);
+        let k3 = TraceKey::new("net", 3, 0.5);
+        cache.get_or_build(&k1, || tiny_trace("1"));
+        cache.get_or_build(&k2, || tiny_trace("2"));
+        // Touch k1 so k2 is the LRU entry when k3 overflows the cache.
+        cache.get_or_build(&k1, || tiny_trace("1"));
+        cache.get_or_build(&k3, || tiny_trace("3"));
+        assert_eq!(cache.len(), 2);
+        let builds = AtomicU64::new(0);
+        cache.get_or_build(&k1, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("1")
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 0, "k1 survived the eviction");
+        cache.get_or_build(&k2, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("2")
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "k2 was evicted and recompiled");
+        assert_eq!(cache.compile_count(&k2), 2);
+    }
+
+    #[test]
+    fn eviction_never_removes_in_flight_builds() {
+        use std::sync::mpsc;
+        let cache = TraceCache::new().bounded(1);
+        let slow = TraceKey::new("slow", 1, 0.5);
+        let fast = TraceKey::new("fast", 1, 0.5);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let (cache, slow) = (&cache, &slow);
+            scope.spawn(move || {
+                cache.get_or_build(slow, || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    tiny_trace("slow")
+                });
+            });
+            started_rx.recv().unwrap();
+            // `fast` overflows the capacity-1 cache while `slow` is
+            // mid-build; the only eviction candidate is `fast` itself
+            // once complete — `slow` must never be torn out.
+            cache.get_or_build(&fast, || tiny_trace("fast"));
+            release_tx.send(()).unwrap();
+        });
+        let builds = AtomicU64::new(0);
+        cache.get_or_build(&slow, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("slow")
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 0, "in-flight build was preserved");
+    }
+
+    #[test]
+    fn artifact_dir_warm_starts_a_second_cache() {
+        let dir = temp_dir("warm-start");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = TraceKey::new("net", 1, 0.5);
+
+        let cold = TraceCache::new().with_artifact_dir(&dir);
+        let compiled = cold.get_or_build(&key, || tiny_trace("net"));
+        assert_eq!(cold.stats(), CacheStats { hits: 0, misses: 1, disk_hits: 0, compiles: 1 });
+
+        // A fresh cache (fresh process, conceptually) loads the
+        // artifact instead of compiling: zero builder runs.
+        let warm = TraceCache::new().with_artifact_dir(&dir);
+        let builds = AtomicU64::new(0);
+        let loaded = warm.get_or_build(&key, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            tiny_trace("net")
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 0, "warm start must not compile");
+        assert_eq!(*loaded, *compiled, "loaded trace is structurally identical");
+        assert_eq!(loaded.fingerprint(), compiled.fingerprint());
+        assert_eq!(warm.stats(), CacheStats { hits: 0, misses: 1, disk_hits: 1, compiles: 0 });
+        assert_eq!(warm.compile_count(&key), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_recompiled_and_replaced() {
+        let dir = temp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = TraceKey::new("net", 1, 0.5);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(artifact::file_name(&key)), b"not an artifact").unwrap();
+
+        let cache = TraceCache::new().with_artifact_dir(&dir);
+        let trace = cache.get_or_build(&key, || tiny_trace("net"));
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 1, disk_hits: 0, compiles: 1 },
+            "a corrupt artifact is a compile, not a disk hit or a failure"
+        );
+        // The compile atomically replaced the corrupt file: a fresh
+        // cache now disk-hits.
+        let fresh = TraceCache::new().with_artifact_dir(&dir);
+        let reloaded = fresh.get_or_build(&key, || panic!("must load from disk"));
+        assert_eq!(*reloaded, *trace);
+        assert_eq!(fresh.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicted_entries_reload_from_the_artifact_tier() {
+        let dir = temp_dir("evict-reload");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new().bounded(1).with_artifact_dir(&dir);
+        let k1 = TraceKey::new("net", 1, 0.5);
+        let k2 = TraceKey::new("net", 2, 0.5);
+        cache.get_or_build(&k1, || tiny_trace("1"));
+        cache.get_or_build(&k2, || tiny_trace("2")); // evicts k1
+        assert_eq!(cache.len(), 1);
+        // The evicted key comes back from disk, not the builder.
+        let back = cache.get_or_build(&k1, || panic!("must reload from disk"));
+        assert_eq!(back.network, "1");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.disk_hits, stats.compiles), (3, 1, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicked_build_does_not_take_the_cache_down() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("panicky", 1, 0.5);
+        let panicked = std::thread::scope(|scope| {
+            scope.spawn(|| cache.get_or_build(&key, || panic!("builder exploded"))).join().is_err()
+        });
+        assert!(panicked, "the builder's panic reaches its own caller");
+        // The cache survives: same key rebuilds, other keys work, and
+        // stats are still readable.
+        let ok = cache.get_or_build(&key, || tiny_trace("recovered"));
+        assert_eq!(ok.network, "recovered");
+        let other = cache.get_or_build(&TraceKey::new("other", 1, 0.5), || tiny_trace("other"));
+        assert_eq!(other.network, "other");
+        assert!(cache.stats().compiles >= 1);
+    }
+
+    #[test]
+    fn poisoned_internal_locks_recover() {
+        let cache = TraceCache::new();
+        cache.get_or_build(&TraceKey::new("pre", 1, 0.5), || tiny_trace("pre"));
+        // Poison every internal mutex by panicking while holding it.
+        for _ in 0..1 {
+            let _ = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let _slots = cache.slots.lock().unwrap();
+                        panic!("poison slots");
+                    })
+                    .join()
+            });
+            let _ = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let _stats = cache.stats.lock().unwrap();
+                        panic!("poison stats");
+                    })
+                    .join()
+            });
+        }
+        // Lookups and accounting still work on the recovered state.
+        let trace = cache.get_or_build(&TraceKey::new("post", 1, 0.5), || tiny_trace("post"));
+        assert_eq!(trace.network, "post");
+        assert!(cache.stats().misses >= 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -289,5 +732,6 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hit_rate(), 0.0);
         assert_eq!(cache.compile_count(&TraceKey::new("none", 0, 1.0)), 0);
+        assert_eq!(cache.stats().accounting(), "hits=0 misses=0 disk_hits=0 compiles=0");
     }
 }

@@ -37,6 +37,7 @@
 //! One code path serves both worlds: `serve` is simply
 //! [`AdmissionPolicy::admit_all`] on this front-end.
 
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -45,7 +46,7 @@ use pointacc::Engine;
 use pointacc_nn::zoo::Benchmark;
 use pointacc_nn::TraceKey;
 
-use crate::cache::TraceCache;
+use crate::cache::{FailurePolicy, TraceCache};
 use crate::serve::{percentile, BoundedQueue, Request, ServeReport, MAX_FAILURE_SAMPLES};
 use crate::{modeled_points, try_benchmark_trace_at};
 
@@ -238,6 +239,19 @@ pub struct FrontendOptions {
     /// run's private cache statistics stay untouched). A shard
     /// supporting none of the benchmarks gets capacity 0.
     pub capacities: Option<Vec<f64>>,
+    /// Persistent trace-artifact directory of the run's private cache
+    /// (see [`pointacc_nn::artifact`]). Defaults to the process-wide
+    /// [`crate::artifact_dir`] (`POINTACC_ARTIFACT_DIR`), so a serving
+    /// process restarted against a warm artifact directory compiles
+    /// zero traces. `None` disables the disk tier.
+    pub artifact_dir: Option<PathBuf>,
+    /// What the run's cache does when a request hits a negatively
+    /// cached build failure. A serving front-end defaults to
+    /// [`FailurePolicy::RetryOnRequest`] — a transient build fault must
+    /// not make a key permanently unservable — while the batch
+    /// [`serve`](crate::serve::serve) path keeps
+    /// [`FailurePolicy::Retain`] for exact amortization accounting.
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for FrontendOptions {
@@ -248,6 +262,8 @@ impl Default for FrontendOptions {
             scale: 1.0,
             policy: AdmissionPolicy::admit_all(),
             capacities: None,
+            artifact_dir: crate::artifact_dir(),
+            failure_policy: FailurePolicy::RetryOnRequest,
         }
     }
 }
@@ -390,8 +406,30 @@ impl<'a> Frontend<'a> {
         clock: &dyn Clock,
         requests: impl IntoIterator<Item = Request>,
     ) -> ServeReport {
+        let mut cache = TraceCache::new().with_failure_policy(self.options.failure_policy);
+        if let Some(dir) = &self.options.artifact_dir {
+            cache = cache.with_artifact_dir(dir);
+        }
+        self.run_on_cache(clock, &cache, requests)
+    }
+
+    /// [`Frontend::run_with_clock`] against a caller-owned
+    /// [`TraceCache`] instead of a run-private one. This is how a
+    /// long-lived server keeps its compiled traces warm across request
+    /// waves — and how a driver recovers a cache that negatively cached
+    /// a transient fault: serve again on the same cache under
+    /// [`FailurePolicy::RetryOnRequest`] (or after
+    /// [`TraceCache::invalidate`]) and the failed keys rebuild. The
+    /// report's [`ServeReport::cache`] snapshots the cache *after* this
+    /// run; pair with [`TraceCache::reset_stats`] at wave boundaries
+    /// for per-wave accounting.
+    pub fn run_on_cache(
+        &self,
+        clock: &dyn Clock,
+        cache: &TraceCache,
+        requests: impl IntoIterator<Item = Request>,
+    ) -> ServeReport {
         let workers_per_engine = self.options.workers_per_engine;
-        let cache = TraceCache::new();
         let start = clock.now();
         let queues: Vec<BoundedQueue<Admitted>> =
             self.engines.iter().map(|_| BoundedQueue::new(self.options.queue_capacity)).collect();
@@ -420,7 +458,7 @@ impl<'a> Frontend<'a> {
                     let engine: &dyn Engine = *engine;
                     let queues = &queues;
                     let queue = &queues[engine_idx];
-                    let cache = &cache;
+                    let cache: &TraceCache = cache;
                     let tx = tx.clone();
                     let benchmarks = self.benchmarks;
                     let scale = self.options.scale;
@@ -605,7 +643,7 @@ impl<'a> Frontend<'a> {
         &self,
         submitted: usize,
         completions: Vec<Completion>,
-        cache: TraceCache,
+        cache: &TraceCache,
         start: Duration,
         end: Duration,
     ) -> ServeReport {

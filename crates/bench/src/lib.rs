@@ -110,6 +110,27 @@ pub fn scale() -> f64 {
     })
 }
 
+/// Persistent trace-artifact directory from `POINTACC_ARTIFACT_DIR`
+/// (default: none — the disk tier stays off). Point several processes
+/// at one directory to share compiled traces across them: writes are
+/// atomic rename-into-place, so readers never see a torn artifact.
+///
+/// Like [`scale`], the environment is read **once** per process; code
+/// that needs a specific directory (tests, embedding harnesses) should
+/// pass it explicitly via
+/// [`cache::TraceCache::with_artifact_dir`] or
+/// [`frontend::FrontendOptions`] instead of mutating the process
+/// environment.
+pub fn artifact_dir() -> Option<std::path::PathBuf> {
+    static DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+    DIR.get_or_init(|| {
+        std::env::var_os("POINTACC_ARTIFACT_DIR")
+            .filter(|s| !s.is_empty())
+            .map(std::path::PathBuf::from)
+    })
+    .clone()
+}
+
 /// Builds the execution trace of one benchmark on its synthetic dataset
 /// (trace-only fidelity — identical costs, no feature arithmetic) at the
 /// process-wide [`scale`].

@@ -411,6 +411,12 @@ pub fn serve(
         scale: options.scale,
         policy: AdmissionPolicy::admit_all(),
         capacities: None,
+        artifact_dir: crate::artifact_dir(),
+        // Retain cached failures: `serve` is a batch harness whose
+        // hit/miss accounting treats a deterministic failure as paid
+        // for once; serving layers that need transient-fault recovery
+        // use the `Frontend` directly (it defaults to retry).
+        failure_policy: crate::cache::FailurePolicy::Retain,
     };
     Frontend::new(engines, benchmarks, options).run(requests)
 }

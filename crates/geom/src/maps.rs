@@ -96,6 +96,55 @@ impl<'a> MapGroup<'a> {
     }
 }
 
+/// Why a structure-of-arrays triple cannot form a valid [`MapTable`]
+/// (returned by [`MapTable::try_from_soa`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapTableError {
+    /// The input and output index arrays differ in length.
+    UnparallelArrays {
+        /// Length of the input-index array.
+        inputs: usize,
+        /// Length of the output-index array.
+        outputs: usize,
+    },
+    /// The offsets array is empty (it must hold `n_weights + 1 >= 1`
+    /// entries).
+    EmptyOffsets,
+    /// The first offset is not 0.
+    OffsetsStartNonzero(usize),
+    /// The offsets are not monotonically non-decreasing.
+    OffsetsNotMonotone,
+    /// The final offset does not equal the index-array length.
+    OffsetsDoNotCover {
+        /// The final offset.
+        last: usize,
+        /// The index-array length it should equal.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for MapTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MapTableError::UnparallelArrays { inputs, outputs } => {
+                write!(f, "SoA arrays must be parallel ({inputs} inputs vs {outputs} outputs)")
+            }
+            MapTableError::EmptyOffsets => {
+                write!(f, "offsets must hold at least n_weights + 1 = 1 entry")
+            }
+            MapTableError::OffsetsStartNonzero(first) => {
+                write!(f, "offsets must start at 0 (got {first})")
+            }
+            MapTableError::OffsetsNotMonotone => write!(f, "offsets must be monotone"),
+            MapTableError::OffsetsDoNotCover { last, len } => {
+                write!(f, "offsets must cover arrays (last offset {last}, {len} maps)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapTableError {}
+
 /// A complete set of maps for one convolution layer, stored grouped by
 /// weight index (the *gather by weight* order of the CPU/GPU flow and of
 /// the weight-stationary inner loop of the accelerator) in SoA form.
@@ -163,12 +212,48 @@ impl MapTable {
     /// Panics if the arrays disagree in length or `offsets` is not a
     /// monotone prefix-sum ending at the array length.
     pub fn from_soa(inputs: Vec<u32>, outputs: Vec<u32>, offsets: Vec<usize>) -> Self {
-        assert_eq!(inputs.len(), outputs.len(), "SoA arrays must be parallel");
-        assert!(!offsets.is_empty(), "offsets must hold at least n_weights + 1 = 1 entry");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        assert_eq!(*offsets.last().expect("non-empty"), inputs.len(), "offsets must cover arrays");
-        MapTable { inputs, outputs, offsets }
+        Self::try_from_soa(inputs, outputs, offsets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MapTable::from_soa`] with the validation failures surfaced as a
+    /// typed [`MapTableError`] instead of a panic — the entry point
+    /// deserializers (the trace-artifact codec) use so a corrupt byte
+    /// stream is rejected instead of aborting the process.
+    pub fn try_from_soa(
+        inputs: Vec<u32>,
+        outputs: Vec<u32>,
+        offsets: Vec<usize>,
+    ) -> Result<Self, MapTableError> {
+        if inputs.len() != outputs.len() {
+            return Err(MapTableError::UnparallelArrays {
+                inputs: inputs.len(),
+                outputs: outputs.len(),
+            });
+        }
+        if offsets.is_empty() {
+            return Err(MapTableError::EmptyOffsets);
+        }
+        if offsets[0] != 0 {
+            return Err(MapTableError::OffsetsStartNonzero(offsets[0]));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(MapTableError::OffsetsNotMonotone);
+        }
+        let last = *offsets.last().expect("non-empty");
+        if last != inputs.len() {
+            return Err(MapTableError::OffsetsDoNotCover { last, len: inputs.len() });
+        }
+        Ok(MapTable { inputs, outputs, offsets })
+    }
+
+    /// The CSR group boundaries: group `w` spans
+    /// `offsets()[w]..offsets()[w+1]` of [`MapTable::inputs`] /
+    /// [`MapTable::outputs`]. Always `n_weights() + 1` monotone entries
+    /// starting at 0 and ending at [`MapTable::len`] — together with the
+    /// index arrays this is the complete wire representation of the
+    /// table ([`MapTable::try_from_soa`] is the inverse).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
     }
 
     /// Number of weight groups.
@@ -467,6 +552,33 @@ mod tests {
     #[should_panic(expected = "offsets must cover arrays")]
     fn from_soa_rejects_short_offsets() {
         let _ = MapTable::from_soa(vec![1, 2], vec![0, 0], vec![0, 1]);
+    }
+
+    #[test]
+    fn try_from_soa_returns_typed_errors() {
+        assert_eq!(
+            MapTable::try_from_soa(vec![1], vec![0, 0], vec![0, 1]),
+            Err(MapTableError::UnparallelArrays { inputs: 1, outputs: 2 })
+        );
+        assert_eq!(
+            MapTable::try_from_soa(vec![], vec![], vec![]),
+            Err(MapTableError::EmptyOffsets)
+        );
+        assert_eq!(
+            MapTable::try_from_soa(vec![1], vec![0], vec![1, 1]),
+            Err(MapTableError::OffsetsStartNonzero(1))
+        );
+        assert_eq!(
+            MapTable::try_from_soa(vec![1, 2], vec![0, 0], vec![0, 2, 1, 2]),
+            Err(MapTableError::OffsetsNotMonotone)
+        );
+        assert_eq!(
+            MapTable::try_from_soa(vec![1, 2], vec![0, 0], vec![0, 1]),
+            Err(MapTableError::OffsetsDoNotCover { last: 1, len: 2 })
+        );
+        let ok = MapTable::try_from_soa(vec![1, 2], vec![0, 0], vec![0, 1, 2]).unwrap();
+        assert_eq!(ok.offsets(), &[0, 1, 2]);
+        assert_eq!(ok.n_weights(), 2);
     }
 
     #[test]

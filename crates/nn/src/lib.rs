@@ -15,7 +15,9 @@
 //! interface every hardware timing model in the workspace consumes.
 //! [`Executor::try_run`] surfaces malformed network/tensor combinations
 //! as typed [`ExecError`]s instead of panicking. [`zoo`] provides the
-//! eight Table 2 benchmarks.
+//! eight Table 2 benchmarks. [`artifact`] persists recorded traces as
+//! versioned, checksummed binary files so downstream harnesses can
+//! warm-start instead of recompiling.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 mod error;
 mod exec;
 mod layer;

@@ -88,6 +88,39 @@ impl MappingOp {
     }
 }
 
+impl MappingOp {
+    /// Stable wire/fingerprint tag of the operation kind.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            MappingOp::Quantize { .. } => 0,
+            MappingOp::KernelMap { .. } => 1,
+            MappingOp::Fps { .. } => 2,
+            MappingOp::Knn { .. } => 3,
+            MappingOp::BallQuery { .. } => 4,
+            MappingOp::KnnFeature { .. } => 5,
+        }
+    }
+
+    /// The operation's size fields in declaration order (the payload the
+    /// wire codec and the fingerprint both consume).
+    pub(crate) fn fields(&self) -> Vec<u64> {
+        match *self {
+            MappingOp::Quantize { n_in, n_out } => vec![n_in as u64, n_out as u64],
+            MappingOp::KernelMap { n_in, n_out, kernel_volume, n_maps } => {
+                vec![n_in as u64, n_out as u64, kernel_volume as u64, n_maps as u64]
+            }
+            MappingOp::Fps { n_in, n_out } => vec![n_in as u64, n_out as u64],
+            MappingOp::Knn { n_in, n_queries, k } => vec![n_in as u64, n_queries as u64, k as u64],
+            MappingOp::BallQuery { n_in, n_queries, k } => {
+                vec![n_in as u64, n_queries as u64, k as u64]
+            }
+            MappingOp::KnnFeature { n_in, n_queries, k, dim } => {
+                vec![n_in as u64, n_queries as u64, k as u64, dim as u64]
+            }
+        }
+    }
+}
+
 /// How a layer's matrix computation consumes its inputs.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum ComputeKind {
@@ -106,6 +139,31 @@ pub enum ComputeKind {
     Pool,
 }
 
+impl ComputeKind {
+    /// Stable wire/fingerprint tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ComputeKind::SparseConv => 0,
+            ComputeKind::Grouped => 1,
+            ComputeKind::Dense => 2,
+            ComputeKind::Interpolate => 3,
+            ComputeKind::Pool => 4,
+        }
+    }
+
+    /// Inverse of [`ComputeKind::tag`]; `None` on an unknown tag.
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => ComputeKind::SparseConv,
+            1 => ComputeKind::Grouped,
+            2 => ComputeKind::Dense,
+            3 => ComputeKind::Interpolate,
+            4 => ComputeKind::Pool,
+            _ => return None,
+        })
+    }
+}
+
 /// Aggregation applied to partial sums after scatter (paper Table 1).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Aggregation {
@@ -117,8 +175,29 @@ pub enum Aggregation {
     None,
 }
 
+impl Aggregation {
+    /// Stable wire/fingerprint tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Aggregation::Sum => 0,
+            Aggregation::Max => 1,
+            Aggregation::None => 2,
+        }
+    }
+
+    /// Inverse of [`Aggregation::tag`]; `None` on an unknown tag.
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Aggregation::Sum,
+            1 => Aggregation::Max,
+            2 => Aggregation::None,
+            _ => return None,
+        })
+    }
+}
+
 /// Record of one executed layer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LayerTrace {
     /// Human-readable layer name, e.g. `"enc2.conv_down"`.
     pub name: String,
@@ -239,8 +318,37 @@ impl TraceKey {
     }
 }
 
+/// Incremental FNV-1a over little-endian words — the trace fingerprint
+/// and the artifact checksum share this primitive so a fingerprint can
+/// be recomputed from decoded bytes without a second hash definition.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    pub(crate) fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    pub(crate) fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn mix(&mut self, v: u64) {
+        self.mix_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Trace of a full network execution.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetworkTrace {
     /// Network name.
     pub network: String,
@@ -286,28 +394,49 @@ impl NetworkTrace {
         self.layers.first().map_or(0, |l| l.n_in)
     }
 
-    /// Cheap structural fingerprint (FNV-1a over per-layer shapes and
-    /// map counts). Two traces of the same network/seed/scale always
-    /// agree; a cache can use it to verify the integrity of a hit
-    /// without comparing whole map tables.
+    /// Content fingerprint: FNV-1a over per-layer shapes, compute and
+    /// aggregation metadata (compute kind, aggregation, pool grouping,
+    /// fusability), every mapping-op descriptor, and the **full map
+    /// tables** (group offsets plus every input/output index pair). Two
+    /// traces agree iff they are structurally identical up to layer and
+    /// network names — which makes the fingerprint a sound validity
+    /// check for persisted trace artifacts, where shape-only hashing
+    /// would let two same-shaped traces with different kernel maps
+    /// impersonate each other.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xCBF2_9CE4_8422_2325u64;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        mix(self.layers.len() as u64);
+        let mut h = Fnv::new();
+        h.mix(self.layers.len() as u64);
         for l in &self.layers {
-            mix(l.n_in as u64);
-            mix(l.n_out as u64);
-            mix(l.in_ch as u64);
-            mix(l.out_ch as u64);
-            mix(l.maps.as_ref().map_or(0, |m| m.len()) as u64);
-            mix(l.mapping_scalar_ops());
+            h.mix(l.n_in as u64);
+            h.mix(l.n_out as u64);
+            h.mix(l.in_ch as u64);
+            h.mix(l.out_ch as u64);
+            h.mix(u64::from(l.compute.tag()));
+            h.mix(u64::from(l.aggregation.tag()));
+            h.mix(l.pool_group.map_or(u64::MAX, |g| g as u64));
+            h.mix(u64::from(l.fusable));
+            h.mix(l.mapping.len() as u64);
+            for op in &l.mapping {
+                h.mix(u64::from(op.tag()));
+                for field in op.fields() {
+                    h.mix(field);
+                }
+            }
+            match &l.maps {
+                None => h.mix(u64::MAX),
+                Some(m) => {
+                    h.mix(m.n_weights() as u64);
+                    h.mix(m.len() as u64);
+                    for &off in m.offsets() {
+                        h.mix(off as u64);
+                    }
+                    for (&input, &output) in m.inputs().iter().zip(m.outputs()) {
+                        h.mix(u64::from(input) << 32 | u64::from(output));
+                    }
+                }
+            }
         }
-        h
+        h.finish()
     }
 }
 
@@ -402,6 +531,41 @@ mod tests {
         let mut wider = t.clone();
         wider.layers[0].out_ch += 1;
         assert_ne!(t.fingerprint(), wider.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_map_contents_and_aggregation() {
+        let base = NetworkTrace {
+            network: "t".into(),
+            input_desc: "x".into(),
+            layers: vec![sparse_layer()],
+        };
+        // Same shapes and map count, different map-table contents: a
+        // shape-only fingerprint collides here, which is unsound as a
+        // disk-artifact validity check.
+        let mut remapped = base.clone();
+        remapped.layers[0].maps = Some(MapTable::from_entries(
+            vec![MapEntry::new(0, 0, 0), MapEntry::new(0, 1, 1), MapEntry::new(1, 1, 0)],
+            2,
+        ));
+        assert_eq!(remapped.layers[0].maps.as_ref().unwrap().len(), 3);
+        assert_ne!(base.fingerprint(), remapped.fingerprint());
+        // Aggregation metadata is covered too.
+        let mut maxed = base.clone();
+        maxed.layers[0].aggregation = Aggregation::Max;
+        assert_ne!(base.fingerprint(), maxed.fingerprint());
+        let mut pooled = base.clone();
+        pooled.layers[0].pool_group = Some(4);
+        assert_ne!(base.fingerprint(), pooled.fingerprint());
+        let mut fused = base.clone();
+        fused.layers[0].fusable = true;
+        assert_ne!(base.fingerprint(), fused.fingerprint());
+        // Names stay outside the fingerprint: it is structural identity,
+        // and the artifact key carries the network name separately.
+        let mut renamed = base.clone();
+        renamed.network = "other".into();
+        renamed.layers[0].name = "other.conv".into();
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
     }
 
     #[test]

@@ -93,6 +93,10 @@ fn run_frozen(
             scale: SCALE,
             policy,
             capacities: Some(capacities),
+            // Property runs must not pick up a disk tier from the test
+            // runner's environment.
+            artifact_dir: None,
+            ..FrontendOptions::default()
         },
     );
     let clock = SimClock::new();

@@ -106,6 +106,10 @@ fn options(capacities: Vec<f64>, policy: AdmissionPolicy) -> FrontendOptions {
         scale: SCALE,
         policy,
         capacities: Some(capacities),
+        // Scenario determinism: no disk tier regardless of the test
+        // runner's environment.
+        artifact_dir: None,
+        ..FrontendOptions::default()
     }
 }
 
@@ -402,9 +406,8 @@ fn zero_workers_shed_instead_of_deadlocking() {
         FrontendOptions {
             queue_capacity: 2,
             workers_per_engine: 0,
-            scale: SCALE,
-            policy: AdmissionPolicy::admit_all(),
             capacities: Some(vec![POINTS]),
+            ..options(vec![POINTS], AdmissionPolicy::admit_all())
         },
     );
     let clock = SimClock::new();
@@ -414,6 +417,51 @@ fn zero_workers_shed_instead_of_deadlocking() {
     assert_eq!(report.completed, 0);
     assert!(report.accounting_balances());
     assert_eq!(engine.evals(), 0);
+}
+
+#[test]
+fn serving_recovers_after_a_transient_build_fault() {
+    use pointacc_bench::cache::{FailurePolicy, TraceCache};
+    use pointacc_bench::UnknownDataset;
+    use pointacc_nn::TraceKey;
+
+    // A transient fault (dataset store briefly unreachable, say) was
+    // negatively cached before the request wave arrives. Whether the
+    // wave recovers is purely the cache's failure policy.
+    let engine = CountingEngine::new("Const");
+    let engines = [&engine as &dyn Engine];
+    let benchmarks = pointnet_only();
+    let frontend =
+        Frontend::new(&engines, &benchmarks, options(vec![1e9], AdmissionPolicy::admit_all()));
+    let key = TraceKey::new(benchmarks[0].notation, 1, SCALE);
+    let poison = |cache: &TraceCache| {
+        cache
+            .try_get_or_build(&key, || Err(UnknownDataset { name: "transient".into() }.into()))
+            .unwrap_err();
+    };
+
+    // Under Retain the fault is permanent: every request for the key
+    // keeps failing from the cache and nothing ever executes.
+    let retained = TraceCache::new().with_failure_policy(FailurePolicy::Retain);
+    poison(&retained);
+    let clock = SimClock::new();
+    let report = frontend.run_on_cache(&clock, &retained, (0..4).map(|_| Request::new(0, 1)));
+    assert_eq!(report.completed, 0, "retained failure makes the key unservable");
+    assert_eq!(report.failed, 4);
+    assert!(report.accounting_balances());
+    assert_eq!(engine.evals(), 0);
+
+    // Under RetryOnRequest the first request drops the failed slot and
+    // rebuilds for real; the whole wave completes.
+    let retrying = TraceCache::new().with_failure_policy(FailurePolicy::RetryOnRequest);
+    poison(&retrying);
+    let clock = SimClock::new();
+    let report = frontend.run_on_cache(&clock, &retrying, (0..4).map(|_| Request::new(0, 1)));
+    assert_eq!(report.failed, 0, "the transient fault must not outlive its cause");
+    assert_eq!(report.completed, 4);
+    assert!(report.accounting_balances());
+    assert_eq!(engine.evals(), 4);
+    assert!(report.cache.compiles >= 1, "recovery really recompiled the trace");
 }
 
 #[test]
