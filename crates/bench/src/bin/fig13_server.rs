@@ -53,4 +53,9 @@ fn main() {
     // persistent artifact tier (POINTACC_ARTIFACT_DIR) — the warm-start
     // criterion CI greps for.
     println!("trace cache: {}", pointacc_bench::cache::global().stats().accounting());
+    // `--verify`: statically re-verify every cached trace, exiting
+    // nonzero (with the offending key) on any rejection.
+    if pointacc_bench::verify_flag() {
+        pointacc_bench::verify_global_cache_or_exit();
+    }
 }

@@ -50,4 +50,9 @@ fn main() {
         run.geomean_energy_ratio(0, 3)
     );
     println!("trace cache: {}", pointacc_bench::cache::global().stats().accounting());
+    // `--verify`: statically re-verify every cached trace, exiting
+    // nonzero (with the offending key) on any rejection.
+    if pointacc_bench::verify_flag() {
+        pointacc_bench::verify_global_cache_or_exit();
+    }
 }

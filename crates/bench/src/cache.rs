@@ -47,19 +47,11 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::sync::lock;
 use crate::TraceBuildError;
-use pointacc_nn::{artifact, NetworkTrace, TraceKey};
-
-/// Locks `m`, recovering from poison: the cache's state is plain maps
-/// and counters mutated only under short critical sections, so a thread
-/// that panicked while holding the lock cannot have left them torn —
-/// propagating the poison would turn one panicking builder into a
-/// process-wide cache outage for every later lookup.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
+use pointacc_nn::{artifact, verify_trace, NetworkTrace, TraceKey, VerifyError};
 
 /// What a [`TraceCache`] does with a key whose cached outcome is a
 /// [`TraceBuildError`].
@@ -103,6 +95,13 @@ pub struct CacheStats {
     /// Builder runs, successful or failed. Zero across a whole run
     /// means every trace came from memory or disk — a warm start.
     pub compiles: u64,
+    /// Traces refused by the static verifier
+    /// ([`pointacc_nn::verify_trace`]) at a cache insertion boundary:
+    /// disk-tier artifacts whose integrity metadata checked out but
+    /// whose trace was semantically malformed (recompiled, never
+    /// served), plus builder outputs rejected before caching. Zero in
+    /// any healthy run.
+    pub verify_rejects: u64,
 }
 
 impl CacheStats {
@@ -118,11 +117,11 @@ impl CacheStats {
     }
 
     /// One-line accounting summary, stable enough to grep in CI
-    /// (`compiles=0` is the warm-start criterion).
+    /// (`compiles=0 verify_rejects=0` is the warm-start criterion).
     pub fn accounting(&self) -> String {
         format!(
-            "hits={} misses={} disk_hits={} compiles={}",
-            self.hits, self.misses, self.disk_hits, self.compiles
+            "hits={} misses={} disk_hits={} compiles={} verify_rejects={}",
+            self.hits, self.misses, self.disk_hits, self.compiles, self.verify_rejects
         )
     }
 }
@@ -229,6 +228,7 @@ impl TraceCache {
         key: &TraceKey,
         build: impl FnOnce() -> NetworkTrace,
     ) -> Arc<NetworkTrace> {
+        // lint: allow(panic): documented panicking facade over try_get_or_build.
         self.try_get_or_build(key, || Ok(build())).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -296,15 +296,39 @@ impl TraceCache {
         build: impl FnOnce() -> Result<NetworkTrace, TraceBuildError>,
     ) -> Result<Arc<NetworkTrace>, TraceBuildError> {
         if let Some(dir) = &self.artifact_dir {
-            // A corrupt, truncated, or wrong-version artifact is not a
-            // lookup failure — fall through and recompile (the save
-            // below atomically replaces the bad file).
-            if let Ok(Some(trace)) = artifact::load(dir, key) {
-                lock(&self.stats).disk_hits += 1;
-                return Ok(Arc::new(trace));
+            match artifact::load(dir, key) {
+                // `load` already ran the static verifier, so a loaded
+                // trace enters the memory tier pre-validated.
+                Ok(Some(trace)) => {
+                    lock(&self.stats).disk_hits += 1;
+                    return Ok(Arc::new(trace));
+                }
+                // The dangerous case: checksum and fingerprint checked
+                // out but the trace is semantically malformed. Count
+                // it, then recompile (the save below atomically
+                // replaces the rejected file).
+                Err(artifact::ArtifactError::Rejected(_)) => {
+                    lock(&self.stats).verify_rejects += 1;
+                }
+                // A missing, corrupt, truncated, or wrong-version
+                // artifact is not a lookup failure — fall through and
+                // recompile.
+                _ => {}
             }
         }
-        let result = build().map(Arc::new);
+        let result = build().map(Arc::new).and_then(|trace| {
+            // The builder's output crosses the same trust boundary as a
+            // disk artifact: a semantically malformed trace is refused
+            // (and negatively cached) instead of being handed to
+            // engines that would index feature rows with it.
+            match verify_trace(key, &trace) {
+                Ok(_) => Ok(trace),
+                Err(e) => {
+                    lock(&self.stats).verify_rejects += 1;
+                    Err(TraceBuildError::Invalid(e))
+                }
+            }
+        });
         lock(&self.stats).compiles += 1;
         *lock(&self.compiles).entry(key.clone()).or_insert(0) += 1;
         if let (Some(dir), Ok(trace)) = (&self.artifact_dir, &result) {
@@ -356,6 +380,31 @@ impl TraceCache {
     /// epoch.
     pub fn clear(&self) {
         lock(&self.slots).map.clear();
+    }
+
+    /// Statically re-verifies every *successfully* cached trace
+    /// (negatively cached failures and in-flight builds are skipped),
+    /// returning how many were checked or the first failing key with
+    /// its [`VerifyError`]. Every insertion path already verifies, so a
+    /// failure here means the cached data was mutated after the fact —
+    /// this is the audit behind the figure binaries' `--verify` flag.
+    pub fn verify_all(&self) -> Result<usize, (TraceKey, VerifyError)> {
+        let cached: Vec<(TraceKey, Arc<NetworkTrace>)> = {
+            let slots = lock(&self.slots);
+            slots
+                .map
+                .iter()
+                .filter_map(|(key, entry)| {
+                    let trace = entry.slot.get()?.as_ref().ok()?;
+                    Some((key.clone(), trace.clone()))
+                })
+                .collect()
+        };
+        let checked = cached.len();
+        for (key, trace) in cached {
+            verify_trace(&key, &trace).map_err(|e| (key, e))?;
+        }
+        Ok(checked)
     }
 
     /// Number of cached build outcomes (compiled traces plus negatively
@@ -411,7 +460,10 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "hit must share the compiled trace");
         assert_eq!(builds.load(Ordering::SeqCst), 1);
         assert_eq!(cache.compile_count(&key), 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, disk_hits: 0, compiles: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 1, disk_hits: 0, compiles: 1, verify_rejects: 0 }
+        );
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -423,7 +475,10 @@ mod tests {
         let c = cache.get_or_build(&TraceKey::new("net", 1, 0.25), || tiny_trace("c"));
         assert_eq!((a.network.as_str(), b.network.as_str(), c.network.as_str()), ("a", "b", "c"));
         assert_eq!(cache.len(), 3);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3, disk_hits: 0, compiles: 3 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 3, disk_hits: 0, compiles: 3, verify_rejects: 0 }
+        );
     }
 
     #[test]
@@ -465,7 +520,10 @@ mod tests {
         let second = cache.get_or_build(&key, || tiny_trace("net"));
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(cache.compile_count(&key), 2);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, disk_hits: 0, compiles: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 2, disk_hits: 0, compiles: 2, verify_rejects: 0 }
+        );
     }
 
     #[test]
@@ -481,7 +539,10 @@ mod tests {
         // The cached trace itself survives: the next lookup is a pure
         // hit in the new epoch.
         cache.get_or_build(&key, || tiny_trace("net"));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0, disk_hits: 0, compiles: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 0, disk_hits: 0, compiles: 0, verify_rejects: 0 }
+        );
     }
 
     #[test]
@@ -619,7 +680,10 @@ mod tests {
 
         let cold = TraceCache::new().with_artifact_dir(&dir);
         let compiled = cold.get_or_build(&key, || tiny_trace("net"));
-        assert_eq!(cold.stats(), CacheStats { hits: 0, misses: 1, disk_hits: 0, compiles: 1 });
+        assert_eq!(
+            cold.stats(),
+            CacheStats { hits: 0, misses: 1, disk_hits: 0, compiles: 1, verify_rejects: 0 }
+        );
 
         // A fresh cache (fresh process, conceptually) loads the
         // artifact instead of compiling: zero builder runs.
@@ -632,7 +696,10 @@ mod tests {
         assert_eq!(builds.load(Ordering::SeqCst), 0, "warm start must not compile");
         assert_eq!(*loaded, *compiled, "loaded trace is structurally identical");
         assert_eq!(loaded.fingerprint(), compiled.fingerprint());
-        assert_eq!(warm.stats(), CacheStats { hits: 0, misses: 1, disk_hits: 1, compiles: 0 });
+        assert_eq!(
+            warm.stats(),
+            CacheStats { hits: 0, misses: 1, disk_hits: 1, compiles: 0, verify_rejects: 0 }
+        );
         assert_eq!(warm.compile_count(&key), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -649,7 +716,7 @@ mod tests {
         let trace = cache.get_or_build(&key, || tiny_trace("net"));
         assert_eq!(
             cache.stats(),
-            CacheStats { hits: 0, misses: 1, disk_hits: 0, compiles: 1 },
+            CacheStats { hits: 0, misses: 1, disk_hits: 0, compiles: 1, verify_rejects: 0 },
             "a corrupt artifact is a compile, not a disk hit or a failure"
         );
         // The compile atomically replaced the corrupt file: a fresh
@@ -705,7 +772,7 @@ mod tests {
             let _ = std::thread::scope(|scope| {
                 scope
                     .spawn(|| {
-                        let _slots = cache.slots.lock().unwrap();
+                        let _slots = lock(&cache.slots);
                         panic!("poison slots");
                     })
                     .join()
@@ -713,7 +780,7 @@ mod tests {
             let _ = std::thread::scope(|scope| {
                 scope
                     .spawn(|| {
-                        let _stats = cache.stats.lock().unwrap();
+                        let _stats = lock(&cache.stats);
                         panic!("poison stats");
                     })
                     .join()
@@ -732,6 +799,85 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hit_rate(), 0.0);
         assert_eq!(cache.compile_count(&TraceKey::new("none", 0, 1.0)), 0);
-        assert_eq!(cache.stats().accounting(), "hits=0 misses=0 disk_hits=0 compiles=0");
+        assert_eq!(
+            cache.stats().accounting(),
+            "hits=0 misses=0 disk_hits=0 compiles=0 verify_rejects=0"
+        );
+    }
+
+    /// A structurally malformed trace: dense layers are point-wise, so
+    /// `n_in != n_out` fails [`verify_trace`] while still encoding (and
+    /// checksumming) cleanly through the artifact codec.
+    fn invalid_trace(name: &str) -> NetworkTrace {
+        use pointacc_nn::{Aggregation, ComputeKind, LayerTrace};
+        NetworkTrace {
+            network: name.into(),
+            input_desc: "test".into(),
+            layers: vec![LayerTrace {
+                name: "dense".into(),
+                compute: ComputeKind::Dense,
+                n_in: 4,
+                n_out: 8,
+                in_ch: 3,
+                out_ch: 3,
+                maps: None,
+                mapping: vec![],
+                aggregation: Aggregation::None,
+                pool_group: None,
+                fusable: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn builder_output_failing_verification_is_rejected_and_counted() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("bogus", 1, 0.5);
+        let err = cache.try_get_or_build(&key, || Ok(invalid_trace("bogus"))).unwrap_err();
+        assert!(matches!(err, TraceBuildError::Invalid(_)), "{err:?}");
+        assert!(err.to_string().contains("failed static verification"), "{err}");
+        let stats = cache.stats();
+        assert_eq!((stats.compiles, stats.verify_rejects), (1, 1));
+        // The rejection is negatively cached like any build failure: a
+        // re-request under Retain returns the error without rebuilding.
+        let again = cache.try_get_or_build(&key, || panic!("must not rebuild")).unwrap_err();
+        assert_eq!(err, again);
+        assert_eq!(cache.stats().verify_rejects, 1);
+    }
+
+    #[test]
+    fn verify_rejected_artifact_recompiles_and_is_replaced() {
+        let dir = temp_dir("verify-reject");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = TraceKey::new("net", 1, 0.5);
+        // An honestly encoded artifact — checksum and fingerprint are
+        // self-consistent, so only the semantic verifier can refuse it.
+        artifact::save(&dir, &key, &invalid_trace("net")).unwrap();
+
+        let cache = TraceCache::new().with_artifact_dir(&dir);
+        let trace = cache.get_or_build(&key, || tiny_trace("net"));
+        assert!(trace.layers.is_empty(), "the recompiled trace is served, not the artifact");
+        let stats = cache.stats();
+        assert_eq!((stats.disk_hits, stats.compiles, stats.verify_rejects), (0, 1, 1));
+        // The compile atomically replaced the rejected artifact: a
+        // fresh cache disk-hits with no rejection.
+        let fresh = TraceCache::new().with_artifact_dir(&dir);
+        let reloaded = fresh.get_or_build(&key, || panic!("must load from disk"));
+        assert_eq!(*reloaded, *trace);
+        assert_eq!((fresh.stats().disk_hits, fresh.stats().verify_rejects), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_all_audits_cached_successes_and_skips_failures() {
+        use crate::UnknownDataset;
+        let cache = TraceCache::new();
+        cache.get_or_build(&TraceKey::new("a", 1, 0.5), || tiny_trace("a"));
+        cache.get_or_build(&TraceKey::new("b", 1, 0.5), || tiny_trace("b"));
+        let _ = cache.try_get_or_build(&TraceKey::new("bad", 1, 0.5), || {
+            Err(UnknownDataset { name: "nope".into() }.into())
+        });
+        assert_eq!(cache.verify_all(), Ok(2), "two successes audited, the failure skipped");
+        assert_eq!(TraceCache::new().verify_all(), Ok(0));
     }
 }

@@ -48,6 +48,7 @@ use pointacc_nn::TraceKey;
 
 use crate::cache::{FailurePolicy, TraceCache};
 use crate::serve::{percentile, BoundedQueue, Request, ServeReport, MAX_FAILURE_SAMPLES};
+use crate::sync::lock;
 use crate::{modeled_points, try_benchmark_trace_at};
 
 /// A monotonic time source for the serving path: everything the
@@ -68,6 +69,7 @@ pub struct WallClock {
 impl WallClock {
     /// A wall clock whose epoch is now.
     pub fn new() -> Self {
+        // lint: allow(wall-clock): WallClock is the designated production Clock impl.
         WallClock { origin: Instant::now() }
     }
 }
@@ -102,14 +104,14 @@ impl SimClock {
 
     /// Advances simulated time by `dt`.
     pub fn advance(&self, dt: Duration) {
-        let mut now = self.now.lock().expect("sim clock poisoned");
+        let mut now = lock(&self.now);
         *now = now.saturating_add(dt);
     }
 }
 
 impl Clock for SimClock {
     fn now(&self) -> Duration {
-        *self.now.lock().expect("sim clock poisoned")
+        *lock(&self.now)
     }
 }
 

@@ -15,6 +15,7 @@ pub mod cache;
 pub mod frontend;
 pub mod harness;
 pub mod serve;
+pub mod sync;
 
 use pointacc_data::Dataset;
 use pointacc_nn::{zoo::Benchmark, ExecError, ExecMode, Executor, NetworkTrace, TraceKey};
@@ -42,15 +43,19 @@ impl std::fmt::Display for UnknownDataset {
 
 impl std::error::Error for UnknownDataset {}
 
-/// Why a benchmark trace could not be built: either the benchmark names
-/// a dataset no generator covers, or the executor rejected the
-/// network/input combination.
+/// Why a benchmark trace could not be built: the benchmark names a
+/// dataset no generator covers, the executor rejected the network/input
+/// combination, or the compiled trace failed static verification
+/// ([`pointacc_nn::verify_trace`]) before being cached.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceBuildError {
     /// The benchmark's dataset name resolved to no generator.
     UnknownDataset(UnknownDataset),
     /// The executor rejected the network (see [`ExecError`]).
     Exec(ExecError),
+    /// The executor produced a trace, but the static verifier rejected
+    /// it — the trace never reaches the cache or an engine.
+    Invalid(pointacc_nn::VerifyError),
 }
 
 impl std::fmt::Display for TraceBuildError {
@@ -58,11 +63,20 @@ impl std::fmt::Display for TraceBuildError {
         match self {
             TraceBuildError::UnknownDataset(e) => e.fmt(f),
             TraceBuildError::Exec(e) => e.fmt(f),
+            TraceBuildError::Invalid(e) => {
+                write!(f, "compiled trace failed static verification: {e}")
+            }
         }
     }
 }
 
 impl std::error::Error for TraceBuildError {}
+
+impl From<pointacc_nn::VerifyError> for TraceBuildError {
+    fn from(e: pointacc_nn::VerifyError) -> Self {
+        TraceBuildError::Invalid(e)
+    }
+}
 
 impl From<UnknownDataset> for TraceBuildError {
     fn from(e: UnknownDataset) -> Self {
@@ -145,6 +159,7 @@ pub fn benchmark_trace(bench: &Benchmark, seed: u64) -> NetworkTrace {
 /// Panics with the [`TraceBuildError`] message on a malformed benchmark;
 /// serving paths should call [`try_benchmark_trace_at`] instead.
 pub fn benchmark_trace_at(bench: &Benchmark, seed: u64, scale: f64) -> NetworkTrace {
+    // lint: allow(panic): documented panicking facade over try_benchmark_trace_at.
     try_benchmark_trace_at(bench, seed, scale).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -192,6 +207,28 @@ pub fn cached_benchmark_trace(
     cache::global().get_or_build(&benchmark_trace_key(bench, seed, scale), || {
         benchmark_trace_at(bench, seed, scale)
     })
+}
+
+/// Whether the process was invoked with the `--verify` flag. Figure
+/// and demo binaries that honor it re-run the static trace verifier
+/// ([`pointacc_nn::verify_trace`]) over every cached trace after their
+/// workload, via [`verify_global_cache_or_exit`].
+pub fn verify_flag() -> bool {
+    std::env::args().any(|a| a == "--verify")
+}
+
+/// Statically re-verifies every successfully cached trace in the
+/// process-wide [`cache::global`] cache, printing a one-line summary.
+/// Exits with status 1 naming the offending key and error when any
+/// cached trace fails verification — the teeth behind `--verify`.
+pub fn verify_global_cache_or_exit() {
+    match cache::global().verify_all() {
+        Ok(n) => println!("verify: {n} cached trace(s) passed static verification"),
+        Err((key, e)) => {
+            eprintln!("verify: cached trace {key:?} failed static verification: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Geometric mean of positive values.

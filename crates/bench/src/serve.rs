@@ -51,6 +51,8 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Condvar, Mutex};
+
+use crate::sync::{lock, wait};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
@@ -169,9 +171,9 @@ impl<T> BoundedQueue<T> {
     /// Enqueues `item`, blocking while the queue is at capacity.
     /// Returns `false` (dropping the item) if the queue was closed.
     pub fn push(&self, item: T) -> bool {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock(&self.state);
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = wait(&self.not_full, state);
         }
         if state.closed {
             return false;
@@ -193,7 +195,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues the oldest item, blocking while the queue is empty.
     /// Returns `None` once the queue is closed **and** drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
@@ -203,7 +205,7 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = wait(&self.not_empty, state);
         }
     }
 
@@ -217,7 +219,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: queued items still drain, further pushes fail,
     /// and poppers return `None` once empty.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock(&self.state);
         state.closed = true;
         state.wake_pushers();
         state.wake_poppers();
@@ -227,7 +229,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued (racy; for monitoring only).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        lock(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty (racy; for monitoring only).
@@ -249,7 +251,7 @@ impl<T> Future for PushFuture<'_, T> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
         let this = self.get_mut();
-        let mut state = this.queue.state.lock().expect("queue poisoned");
+        let mut state = lock(&this.queue.state);
         if state.closed {
             this.item = None;
             return Poll::Ready(false);
@@ -277,7 +279,7 @@ impl<T> Future for PopFuture<'_, T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let mut state = self.queue.state.lock().expect("queue poisoned");
+        let mut state = lock(&self.queue.state);
         if let Some(item) = state.items.pop_front() {
             self.queue.not_full.notify_one();
             state.wake_pushers();

@@ -1,0 +1,65 @@
+//! Poison-recovering synchronization helpers shared by the trace cache
+//! and the serving layer.
+//!
+//! Every mutex in this crate guards plain data — maps, counters, queue
+//! state — mutated only under short critical sections, so a thread that
+//! panicked while holding the lock cannot have left the data torn.
+//! Propagating the poison would turn one panicking builder or worker
+//! into a process-wide outage for every later lookup; these helpers
+//! recover the guard with [`PoisonError::into_inner`] instead. The repo
+//! linter (`cargo run -p pointacc-lint`) bans bare `.lock().unwrap()` /
+//! `.lock().expect(..)` outside tests to keep every call site on this
+//! path.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned mutex.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, releasing `guard` until notified; the reacquired
+/// guard is recovered from a poisoned mutex just like [`lock`].
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_a_poisoned_mutex() {
+        let m = Mutex::new(7u32);
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = lock(&m);
+                    panic!("poison while holding");
+                })
+                .join()
+        });
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "the recovered guard still reads the data");
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8);
+    }
+
+    #[test]
+    fn wait_participates_in_a_normal_handoff() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                *lock(&m) = true;
+                cv.notify_one();
+            });
+            let mut ready = lock(&m);
+            while !*ready {
+                ready = wait(&cv, ready);
+            }
+            assert!(*ready);
+        });
+    }
+}

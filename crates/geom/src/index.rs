@@ -1207,6 +1207,7 @@ pub fn backend_by_name(name: &str) -> Option<&'static dyn MappingBackend> {
 pub fn default_backend() -> &'static dyn MappingBackend {
     static CHOICE: std::sync::OnceLock<&'static dyn MappingBackend> = std::sync::OnceLock::new();
     *CHOICE.get_or_init(|| {
+        // lint: allow(env-var): designated read-once accessor for POINTACC_BACKEND.
         std::env::var("POINTACC_BACKEND")
             .ok()
             .and_then(|name| backend_by_name(&name))

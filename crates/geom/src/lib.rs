@@ -49,5 +49,5 @@ pub mod par;
 pub use cloud::{PointSet, VoxelCloud};
 pub use coord::Coord;
 pub use feature::FeatureMatrix;
-pub use maps::{KernelMap, MapEntry, MapTable, MapTableError};
+pub use maps::{KernelMap, KernelMapError, MapEntry, MapTable, MapTableError};
 pub use point::Point3;

@@ -145,6 +145,32 @@ impl std::fmt::Display for MapTableError {
 
 impl std::error::Error for MapTableError {}
 
+/// The CSR invariants shared by [`MapTable::try_from_soa`] (construction
+/// from untrusted parts) and [`MapTable::validate`] (re-validation of an
+/// existing table).
+fn validate_soa(inputs: &[u32], outputs: &[u32], offsets: &[usize]) -> Result<(), MapTableError> {
+    if inputs.len() != outputs.len() {
+        return Err(MapTableError::UnparallelArrays {
+            inputs: inputs.len(),
+            outputs: outputs.len(),
+        });
+    }
+    if offsets.is_empty() {
+        return Err(MapTableError::EmptyOffsets);
+    }
+    if offsets[0] != 0 {
+        return Err(MapTableError::OffsetsStartNonzero(offsets[0]));
+    }
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(MapTableError::OffsetsNotMonotone);
+    }
+    let last = *offsets.last().expect("non-empty");
+    if last != inputs.len() {
+        return Err(MapTableError::OffsetsDoNotCover { last, len: inputs.len() });
+    }
+    Ok(())
+}
+
 /// A complete set of maps for one convolution layer, stored grouped by
 /// weight index (the *gather by weight* order of the CPU/GPU flow and of
 /// the weight-stationary inner loop of the accelerator) in SoA form.
@@ -212,6 +238,7 @@ impl MapTable {
     /// Panics if the arrays disagree in length or `offsets` is not a
     /// monotone prefix-sum ending at the array length.
     pub fn from_soa(inputs: Vec<u32>, outputs: Vec<u32>, offsets: Vec<usize>) -> Self {
+        // lint: allow(panic): documented panicking facade over try_from_soa.
         Self::try_from_soa(inputs, outputs, offsets).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -224,26 +251,19 @@ impl MapTable {
         outputs: Vec<u32>,
         offsets: Vec<usize>,
     ) -> Result<Self, MapTableError> {
-        if inputs.len() != outputs.len() {
-            return Err(MapTableError::UnparallelArrays {
-                inputs: inputs.len(),
-                outputs: outputs.len(),
-            });
-        }
-        if offsets.is_empty() {
-            return Err(MapTableError::EmptyOffsets);
-        }
-        if offsets[0] != 0 {
-            return Err(MapTableError::OffsetsStartNonzero(offsets[0]));
-        }
-        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
-            return Err(MapTableError::OffsetsNotMonotone);
-        }
-        let last = *offsets.last().expect("non-empty");
-        if last != inputs.len() {
-            return Err(MapTableError::OffsetsDoNotCover { last, len: inputs.len() });
-        }
+        validate_soa(&inputs, &outputs, &offsets)?;
         Ok(MapTable { inputs, outputs, offsets })
+    }
+
+    /// Re-checks the CSR invariants on an existing table, returning the
+    /// same typed [`MapTableError`]s as [`MapTable::try_from_soa`].
+    ///
+    /// Tables built through the constructors uphold these invariants by
+    /// construction; this is the re-validation entry point for tables
+    /// that crossed a trust boundary (deserialized trace artifacts, the
+    /// static trace verifier).
+    pub fn validate(&self) -> Result<(), MapTableError> {
+        validate_soa(&self.inputs, &self.outputs, &self.offsets)
     }
 
     /// The CSR group boundaries: group `w` spans
@@ -346,6 +366,78 @@ impl MapTable {
     }
 }
 
+/// Why a `(table, geometry)` pair cannot form a valid [`KernelMap`]
+/// (returned by [`KernelMap::try_new`]), naming the offending weight
+/// group and entry so diagnostics point at the exact map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelMapError {
+    /// The table itself violates the CSR invariants.
+    Table(MapTableError),
+    /// The table's weight-group count is not the declared kernel volume.
+    VolumeMismatch {
+        /// Declared kernel volume (`kernel_size³`).
+        kernel_volume: usize,
+        /// Weight groups the table actually holds.
+        n_weights: usize,
+    },
+    /// A map's input index is outside the declared input cloud.
+    InputOutOfBounds {
+        /// Weight group holding the offending map.
+        group: usize,
+        /// Entry position within the group.
+        entry: usize,
+        /// The out-of-range input index.
+        index: u32,
+        /// Declared input cloud size the index must stay below.
+        n_in: usize,
+    },
+    /// A map's output index is outside the declared output cloud.
+    OutputOutOfBounds {
+        /// Weight group holding the offending map.
+        group: usize,
+        /// Entry position within the group.
+        entry: usize,
+        /// The out-of-range output index.
+        index: u32,
+        /// Declared output cloud size the index must stay below.
+        n_out: usize,
+    },
+}
+
+impl std::fmt::Display for KernelMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            KernelMapError::Table(ref e) => write!(f, "malformed map table: {e}"),
+            KernelMapError::VolumeMismatch { kernel_volume, n_weights } => {
+                write!(f, "kernel volume {kernel_volume} != {n_weights} weight groups")
+            }
+            KernelMapError::InputOutOfBounds { group, entry, index, n_in } => write!(
+                f,
+                "map (group {group}, entry {entry}) input {index} outside input cloud of {n_in}"
+            ),
+            KernelMapError::OutputOutOfBounds { group, entry, index, n_out } => write!(
+                f,
+                "map (group {group}, entry {entry}) output {index} outside output cloud of {n_out}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelMapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelMapError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MapTableError> for KernelMapError {
+    fn from(e: MapTableError) -> Self {
+        KernelMapError::Table(e)
+    }
+}
+
 /// The complete kernel map of one sparse convolution layer: the
 /// [`MapTable`] plus the geometry it connects, so consumers can bounds-
 /// check gathers and scatters without re-deriving cloud sizes.
@@ -380,9 +472,69 @@ pub struct KernelMap {
 
 impl KernelMap {
     fn new(table: MapTable, n_in: usize, n_out: usize, kernel_volume: usize) -> Self {
-        let km = KernelMap { table, n_in, n_out, kernel_volume };
-        debug_assert!(km.is_within_bounds(), "kernel map references out-of-range points");
-        km
+        // The mapping backends construct in-bounds tables by design;
+        // debug builds re-prove it through the typed checker so a backend
+        // regression names the offending group/entry instead of failing
+        // later inside a gather.
+        debug_assert!(
+            Self::check(&table, n_in, n_out, kernel_volume).is_ok(),
+            "kernel map references out-of-range points: {:?}",
+            Self::check(&table, n_in, n_out, kernel_volume)
+        );
+        KernelMap { table, n_in, n_out, kernel_volume }
+    }
+
+    /// Builds a kernel map from parts that did **not** come from a
+    /// trusted mapping backend, verifying the table's CSR invariants,
+    /// the group-count/kernel-volume agreement and every index bound —
+    /// the typed-error counterpart of the backend constructors.
+    pub fn try_new(
+        table: MapTable,
+        n_in: usize,
+        n_out: usize,
+        kernel_volume: usize,
+    ) -> Result<Self, KernelMapError> {
+        Self::check(&table, n_in, n_out, kernel_volume)?;
+        Ok(KernelMap { table, n_in, n_out, kernel_volume })
+    }
+
+    /// The invariant body of [`KernelMap::try_new`], naming the first
+    /// offending group/entry on failure.
+    fn check(
+        table: &MapTable,
+        n_in: usize,
+        n_out: usize,
+        kernel_volume: usize,
+    ) -> Result<(), KernelMapError> {
+        table.validate()?;
+        if table.n_weights() != kernel_volume {
+            return Err(KernelMapError::VolumeMismatch {
+                kernel_volume,
+                n_weights: table.n_weights(),
+            });
+        }
+        for group in 0..table.n_weights() {
+            let g = table.group(group);
+            for (entry, (&input, &output)) in g.inputs().iter().zip(g.outputs()).enumerate() {
+                if input as usize >= n_in {
+                    return Err(KernelMapError::InputOutOfBounds {
+                        group,
+                        entry,
+                        index: input,
+                        n_in,
+                    });
+                }
+                if output as usize >= n_out {
+                    return Err(KernelMapError::OutputOutOfBounds {
+                        group,
+                        entry,
+                        index: output,
+                        n_out,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Maps of a stride-1 convolution: input and output share `cloud`'s
@@ -661,5 +813,41 @@ mod tests {
                 KernelMap { table: km.table().clone(), n_in: 1, n_out: 1, kernel_volume: 27 };
             assert!(!truncated.is_within_bounds());
         }
+
+        #[test]
+        fn try_new_accepts_backend_output_and_names_violations() {
+            let c = cloud();
+            let km = KernelMap::unit_stride(&c, 3);
+            let ok = KernelMap::try_new(km.table().clone(), km.n_in(), km.n_out(), 27)
+                .expect("backend tables are in bounds");
+            assert_eq!(ok, km);
+            // Wrong kernel volume.
+            assert_eq!(
+                KernelMap::try_new(km.table().clone(), km.n_in(), km.n_out(), 8),
+                Err(KernelMapError::VolumeMismatch { kernel_volume: 8, n_weights: 27 })
+            );
+            // Truncated input cloud: the error names the first bad map.
+            let err = KernelMap::try_new(km.table().clone(), 1, km.n_out(), 27).unwrap_err();
+            assert!(
+                matches!(err, KernelMapError::InputOutOfBounds { n_in: 1, index, .. } if index >= 1),
+                "{err:?}"
+            );
+            // Truncated output cloud.
+            let err = KernelMap::try_new(km.table().clone(), km.n_in(), 1, 27).unwrap_err();
+            assert!(matches!(err, KernelMapError::OutputOutOfBounds { n_out: 1, .. }), "{err:?}");
+        }
+
+        #[test]
+        fn try_new_rejects_malformed_tables() {
+            let t = MapTable::from_entries(vec![MapEntry::new(0, 0, 0)], 1);
+            let err = KernelMap::try_new(t, 0, 1, 1).unwrap_err();
+            assert!(matches!(err, KernelMapError::InputOutOfBounds { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_constructed_tables() {
+        assert_eq!(table().validate(), Ok(()));
+        assert_eq!(MapTable::default().validate(), Err(MapTableError::EmptyOffsets));
     }
 }

@@ -20,6 +20,7 @@ use std::thread;
 pub fn worker_threads() -> usize {
     static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *THREADS.get_or_init(|| {
+        // lint: allow(env-var): designated read-once accessor for POINTACC_THREADS.
         std::env::var("POINTACC_THREADS")
             .ok()
             .and_then(|s| s.parse().ok())

@@ -44,6 +44,7 @@ impl Point3 {
     }
 
     /// Component-wise subtraction, yielding the offset `self - other`.
+    // lint: allow(allow-attr): named `sub`/`add` read better than operator sugar here.
     #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(self, other: Point3) -> Point3 {
@@ -51,6 +52,7 @@ impl Point3 {
     }
 
     /// Component-wise addition.
+    // lint: allow(allow-attr): named `sub`/`add` read better than operator sugar here.
     #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, other: Point3) -> Point3 {

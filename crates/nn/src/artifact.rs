@@ -114,6 +114,12 @@ pub enum ArtifactError {
         /// The key stored in the file.
         found: TraceKey,
     },
+    /// The artifact decoded cleanly — magic, version, checksum and
+    /// fingerprint all valid — but its trace failed static verification
+    /// ([`verify_trace`](crate::verify::verify_trace)): a corrupt file
+    /// whose integrity metadata was recomputed, or a buggy producer.
+    /// Refused at load, never executed.
+    Rejected(crate::verify::VerifyError),
     /// Filesystem failure while saving or loading (message of the
     /// underlying `std::io::Error`).
     Io(String),
@@ -146,6 +152,9 @@ impl fmt::Display for ArtifactError {
             }
             ArtifactError::KeyMismatch { requested, found } => {
                 write!(f, "artifact key mismatch: requested {requested:?}, file holds {found:?}")
+            }
+            ArtifactError::Rejected(e) => {
+                write!(f, "artifact failed static trace verification: {e}")
             }
             ArtifactError::Io(msg) => write!(f, "artifact I/O failure: {msg}"),
         }
@@ -557,6 +566,13 @@ pub fn save(dir: &Path, key: &TraceKey, trace: &NetworkTrace) -> Result<PathBuf,
 /// existing-but-invalid file — truncated, corrupt, wrong version, or
 /// holding a different key — is an `Err`, letting callers distinguish
 /// "compile it" from "the artifact store is damaged".
+///
+/// Beyond the codec's integrity checks (checksum, fingerprint), the
+/// decoded trace must pass the full static verifier
+/// ([`verify_trace`](crate::verify::verify_trace)): a corruption that
+/// recomputed the checksum and fingerprint — or a buggy writer — is
+/// still refused as [`ArtifactError::Rejected`] instead of being handed
+/// to an executor that would index feature rows with it.
 pub fn load(dir: &Path, key: &TraceKey) -> Result<Option<NetworkTrace>, ArtifactError> {
     let path = dir.join(file_name(key));
     let bytes = match fs::read(&path) {
@@ -568,6 +584,7 @@ pub fn load(dir: &Path, key: &TraceKey) -> Result<Option<NetworkTrace>, Artifact
     if &found != key {
         return Err(ArtifactError::KeyMismatch { requested: key.clone(), found });
     }
+    crate::verify::verify_trace(key, &trace).map_err(ArtifactError::Rejected)?;
     Ok(Some(trace))
 }
 
@@ -612,7 +629,7 @@ mod tests {
                     out_ch: 20,
                     maps: None,
                     mapping: vec![],
-                    aggregation: Aggregation::None,
+                    aggregation: Aggregation::Max,
                     pool_group: Some(2),
                     fusable: true,
                 },
@@ -711,6 +728,38 @@ mod tests {
         // A damaged file is an error, not a panic or a bogus trace.
         fs::write(dir.join(file_name(&key)), b"PACCTRC1 garbage").unwrap();
         assert!(load(&dir, &key).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_artifacts_with_recomputed_integrity_metadata() {
+        let dir = std::env::temp_dir()
+            .join(format!("pointacc-artifact-test-{}", std::process::id()))
+            .join("verify-reject");
+        let (key, mut trace) = (sample_key(), sample_trace());
+        // Flip a map's input index out of bounds, then write the trace
+        // through the honest encoder — which recomputes the checksum
+        // *and* the fingerprint over the corrupted table, so the codec's
+        // integrity checks all pass. Only the static verifier stands
+        // between this file and a gather that indexes row 99 of 2.
+        let m = trace.layers[0].maps.as_mut().unwrap();
+        let mut inputs = m.inputs().to_vec();
+        inputs[0] = 99;
+        *m = MapTable::try_from_soa(inputs, m.outputs().to_vec(), m.offsets().to_vec()).unwrap();
+        save(&dir, &key, &trace).unwrap();
+        // decode alone accepts the bytes (checksum and fingerprint are
+        // self-consistent) — the rejection is the verifier's.
+        let bytes = fs::read(dir.join(file_name(&key))).unwrap();
+        assert!(decode(&bytes).is_ok());
+        match load(&dir, &key) {
+            Err(ArtifactError::Rejected(crate::verify::VerifyError::InputIndexOutOfBounds {
+                layer: 0,
+                index: 99,
+                bound: 2,
+                ..
+            })) => {}
+            other => panic!("expected a verifier rejection, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

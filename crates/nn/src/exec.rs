@@ -169,6 +169,7 @@ impl Executor {
     /// without a voxel size). Serving paths should call
     /// [`Executor::try_run`] instead.
     pub fn run(&self, net: &Network, points: &PointSet) -> ExecOutput {
+        // lint: allow(panic): documented panicking facade over try_run.
         self.try_run(net, points).unwrap_or_else(|e| panic!("{e}"))
     }
 

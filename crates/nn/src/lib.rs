@@ -42,6 +42,7 @@ mod layer;
 mod network;
 pub mod stats;
 mod trace;
+pub mod verify;
 mod weights;
 pub mod zoo;
 
@@ -50,4 +51,5 @@ pub use exec::{ExecMode, ExecOptions, ExecOutput, Executor};
 pub use layer::{Domain, Op};
 pub use network::Network;
 pub use trace::{Aggregation, ComputeKind, LayerTrace, MappingOp, NetworkTrace, TraceKey};
+pub use verify::{verify_trace, verify_with_fingerprint, VerifyError, VerifyReport};
 pub use weights::WeightGen;
