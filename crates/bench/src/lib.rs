@@ -15,6 +15,7 @@ pub mod cache;
 pub mod frontend;
 pub mod harness;
 pub mod serve;
+pub mod stream;
 pub mod sync;
 
 use pointacc_data::Dataset;
@@ -143,6 +144,35 @@ pub fn artifact_dir() -> Option<std::path::PathBuf> {
             .map(std::path::PathBuf::from)
     })
     .clone()
+}
+
+/// Output path for the streaming benchmark record from
+/// `BENCH_STREAMING_OUT` (default: `BENCH_streaming.json` at the
+/// workspace root, regardless of invocation cwd). Read **once** per
+/// process, like [`scale`].
+pub fn streaming_out() -> std::path::PathBuf {
+    static OUT: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| {
+        std::env::var_os("BENCH_STREAMING_OUT")
+            .filter(|s| !s.is_empty())
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::path::PathBuf::from(concat!(
+                    env!("CARGO_MANIFEST_DIR"),
+                    "/../../BENCH_streaming.json"
+                ))
+            })
+    })
+    .clone()
+}
+
+/// Override for the streaming demo's amortized-vs-cold throughput bar
+/// from `BENCH_STREAMING_MIN_GAIN` (`0` = record-only). Read **once**
+/// per process, like [`scale`]; `None` keeps the bin's default bar.
+pub fn streaming_min_gain() -> Option<f64> {
+    static GAIN: std::sync::OnceLock<Option<f64>> = std::sync::OnceLock::new();
+    *GAIN
+        .get_or_init(|| std::env::var("BENCH_STREAMING_MIN_GAIN").ok().and_then(|s| s.parse().ok()))
 }
 
 /// Builds the execution trace of one benchmark on its synthetic dataset

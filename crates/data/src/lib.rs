@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 
 mod indoor;
-mod lidar;
+pub mod lidar;
 mod object;
 pub mod stats;
 

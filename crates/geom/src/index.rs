@@ -103,8 +103,12 @@ const FPS_APPROX_MIN: usize = 2048;
 /// assert_eq!(nn[0], 0); // nearest point first
 /// assert_eq!(nn.len(), 3);
 /// ```
-pub struct GridIndex<'a> {
-    points: &'a [Point3],
+pub struct GridIndex {
+    points: Vec<Point3>,
+    /// The point count the cell sizing was chosen for; when the live
+    /// count drifts past 2× in either direction, [`GridIndex::apply_delta`]
+    /// rebuilds instead of patching (occupancy would no longer be ~2).
+    built_n: usize,
     cell: f32,
     origin: Point3,
     dims: [usize; 3],
@@ -122,14 +126,21 @@ pub struct GridIndex<'a> {
     zs: Vec<f32>,
 }
 
-impl<'a> GridIndex<'a> {
-    /// Builds the index over `points` (an empty slice yields an empty,
-    /// queryable index).
-    pub fn build(points: &'a [Point3]) -> Self {
+impl GridIndex {
+    /// Builds the index over a copy of `points` (an empty slice yields
+    /// an empty, queryable index). The index owns its point storage so
+    /// it can outlive the caller's buffer and absorb deltas in place —
+    /// see [`GridIndex::apply_delta`].
+    pub fn build(points: &[Point3]) -> Self {
+        Self::build_owned(points.to_vec())
+    }
+
+    fn build_owned(points: Vec<Point3>) -> Self {
         let n = points.len();
         if n == 0 {
             return GridIndex {
                 points,
+                built_n: 0,
                 cell: 1.0,
                 origin: Point3::ORIGIN,
                 dims: [1, 1, 1],
@@ -143,7 +154,7 @@ impl<'a> GridIndex<'a> {
         }
         let mut min = points[0];
         let mut max = points[0];
-        for p in points {
+        for p in &points {
             min.x = min.x.min(p.x);
             min.y = min.y.min(p.y);
             min.z = min.z.min(p.z);
@@ -168,7 +179,7 @@ impl<'a> GridIndex<'a> {
         };
         // Counting sort into Morton-ordered CSR buckets.
         let mut starts = vec![0u32; n_cells + 1];
-        for p in points {
+        for p in &points {
             starts[bucket_of(p) + 1] += 1;
         }
         for b in 0..n_cells {
@@ -192,7 +203,186 @@ impl<'a> GridIndex<'a> {
             ys[s] = p.y;
             zs[s] = p.z;
         }
-        GridIndex { points, cell, origin: min, dims, slot_of, starts, entries, xs, ys, zs }
+        GridIndex {
+            points,
+            built_n: n,
+            cell,
+            origin: min,
+            dims,
+            slot_of,
+            starts,
+            entries,
+            xs,
+            ys,
+            zs,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in index order (the order queries report).
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Whether `p` falls inside the built grid's coverage box without
+    /// clamping. Clamped points would break the kNN shell-termination
+    /// bound (which assumes every point lies inside its assigned cell),
+    /// so [`GridIndex::apply_delta`] rebuilds rather than admit one.
+    fn covers(&self, p: Point3) -> bool {
+        if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()) {
+            return false;
+        }
+        let c = self.cell_of(p);
+        (0..3).all(|a| c[a] >= 0 && c[a] < self.dims[a] as i128)
+    }
+
+    /// Applies a point delta in place: removes the points at positions
+    /// `removes`, then inserts `inserts`, re-indexing with
+    /// [`apply_point_delta`]'s deterministic layout (holes filled by
+    /// inserts in order, spill appended, leftover holes back-filled from
+    /// the tail). Returns the `(from, to)` position moves of surviving
+    /// points so callers can track external per-point state.
+    ///
+    /// After the call the index is **bit-identical to
+    /// [`GridIndex::build`] over the same transformed array** — same
+    /// query results, enforced by property test in `tests/streaming.rs`.
+    /// The patch path keeps the grid geometry (origin, cell size, Morton
+    /// slot table) and rebuilds only the CSR buckets in one streaming
+    /// merge — `O(n)` sequential copy plus `O(churn·log churn)` sorting,
+    /// skipping the bounding-box scan, cell sizing, and Morton-code sort
+    /// that dominate a cold build. A full rebuild happens only when an
+    /// insert escapes the coverage box (or is non-finite), the point
+    /// count drifts 2× from the sizing target, or the index was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any remove position is out of bounds (duplicates are
+    /// tolerated and collapse to one removal).
+    pub fn apply_delta(&mut self, removes: &[u32], inserts: &[Point3]) -> Vec<(u32, u32)> {
+        let old_n = self.points.len();
+        let mut rem: Vec<u32> = removes.to_vec();
+        rem.sort_unstable();
+        rem.dedup();
+        assert!(
+            rem.last().is_none_or(|&r| (r as usize) < old_n),
+            "remove position out of bounds: {:?} (len {old_n})",
+            rem.last()
+        );
+        let n_new = old_n - rem.len() + inserts.len();
+        let patchable = old_n > 0
+            && n_new > 0
+            && n_new >= self.built_n / 2
+            && n_new <= self.built_n.saturating_mul(2)
+            && inserts.iter().all(|&p| self.covers(p));
+        if !patchable {
+            let mut pts = std::mem::take(&mut self.points);
+            let moves = apply_point_delta(&mut pts, &rem, inserts);
+            *self = Self::build_owned(pts);
+            return moves;
+        }
+
+        // Which old positions vanish from the buckets: the removed
+        // points, plus the tail points the transformation relocates.
+        let mut is_del = vec![false; old_n];
+        for &r in &rem {
+            is_del[r as usize] = true;
+        }
+        let moves = apply_point_delta(&mut self.points, &rem, inserts);
+        for &(from, _) in &moves {
+            is_del[from as usize] = true;
+        }
+
+        // Which new positions enter the buckets: hole positions filled
+        // by inserts, appended inserts, and relocated tail points — by
+        // the transformation's layout, the first `filled` holes and the
+        // appended range hold the inserts, the moves hold the rest.
+        let filled = rem.len().min(inserts.len());
+        let mut adds: Vec<(u32, u32)> = Vec::with_capacity(inserts.len() + moves.len());
+        let slot_at = |p: Point3| -> u32 {
+            let c = self.cell_of(p);
+            let cx = c[0].clamp(0, self.dims[0] as i128 - 1) as usize;
+            let cy = c[1].clamp(0, self.dims[1] as i128 - 1) as usize;
+            let cz = c[2].clamp(0, self.dims[2] as i128 - 1) as usize;
+            self.slot_of[(cx * self.dims[1] + cy) * self.dims[2] + cz]
+        };
+        for &h in &rem[..filled] {
+            adds.push((slot_at(self.points[h as usize]), h));
+        }
+        for i in old_n - rem.len() + filled..n_new {
+            adds.push((slot_at(self.points[i]), i as u32));
+        }
+        for &(_, to) in &moves {
+            adds.push((slot_at(self.points[to as usize]), to));
+        }
+        adds.sort_unstable();
+
+        // One streaming merge over the CSR buckets: per slot, the
+        // surviving old entries (ascending point index, `is_del`
+        // filtered) interleave with this slot's additions (ascending by
+        // construction of the sort). Survivor coordinates stream from
+        // the old SoA mirror; additions read the fresh point array.
+        // Ascending-by-index per bucket is exactly the counting sort's
+        // stable order, so the result matches a from-scratch build.
+        let n_slots = self.starts.len() - 1;
+        let mut starts = Vec::with_capacity(n_slots + 1);
+        starts.push(0u32);
+        let mut entries = Vec::with_capacity(n_new);
+        let mut xs = Vec::with_capacity(n_new);
+        let mut ys = Vec::with_capacity(n_new);
+        let mut zs = Vec::with_capacity(n_new);
+        let mut ai = 0usize;
+        for s in 0..n_slots {
+            let mut oi = self.starts[s] as usize;
+            let o_end = self.starts[s + 1] as usize;
+            let a_end = ai + adds[ai..].iter().take_while(|&&(slot, _)| slot == s as u32).count();
+            let mut aj = ai;
+            loop {
+                // Skip deleted survivors eagerly so the merge head is
+                // always a live entry.
+                while oi < o_end && is_del[self.entries[oi] as usize] {
+                    oi += 1;
+                }
+                let take_old = match (oi < o_end, aj < a_end) {
+                    (false, false) => break,
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => self.entries[oi] < adds[aj].1,
+                };
+                if take_old {
+                    entries.push(self.entries[oi]);
+                    xs.push(self.xs[oi]);
+                    ys.push(self.ys[oi]);
+                    zs.push(self.zs[oi]);
+                    oi += 1;
+                } else {
+                    let idx = adds[aj].1;
+                    let p = self.points[idx as usize];
+                    entries.push(idx);
+                    xs.push(p.x);
+                    ys.push(p.y);
+                    zs.push(p.z);
+                    aj += 1;
+                }
+            }
+            ai = a_end;
+            starts.push(entries.len() as u32);
+        }
+        debug_assert_eq!(entries.len(), n_new);
+        self.starts = starts;
+        self.entries = entries;
+        self.xs = xs;
+        self.ys = ys;
+        self.zs = zs;
+        moves
     }
 
     /// Spreads the low 21 bits of `v` to every third bit (Morton
@@ -377,10 +567,15 @@ impl<'a> GridIndex<'a> {
             .map(|a| (-c[a]).max(c[a] - (self.dims[a] as i128 - 1)).max(0))
             .max()
             .unwrap_or(0);
-        let span = (self.dims[0] + self.dims[1] + self.dims[2]) as i128;
+        // Shell walking pays off only while shells still intersect the
+        // grid box within a few rings; once the query sits further from
+        // the box (per axis, in cells) than the *largest* grid dimension,
+        // every remaining shell clips to roughly the whole grid and one
+        // brute scan is cheaper. (This used to compare against the *sum*
+        // of the three dims, so elongated grids — e.g. a LiDAR sweep's
+        // long x-extent — kept shell-walking far past the crossover.)
+        let span = self.dims.iter().copied().max().unwrap_or(1) as i128;
         if r0 > span + 8 {
-            // Query so far outside the grid that shell walking would cost
-            // more than one full scan.
             return self.brute(q, k, None);
         }
         let max_ring: i128 =
@@ -453,6 +648,68 @@ impl<'a> GridIndex<'a> {
     }
 }
 
+/// Applies a remove-then-insert delta to a point array with one fixed,
+/// deterministic layout — the common language between a streaming frame
+/// producer and an incrementally updated [`GridIndex`]:
+///
+/// 1. remove positions (sorted, deduplicated) become holes,
+/// 2. holes are filled in ascending position order by the inserts in
+///    order; inserts beyond the hole count are appended at the end,
+/// 3. holes beyond the insert count are back-filled by relocating the
+///    last surviving points (highest position first), then the array is
+///    truncated to its new length.
+///
+/// Unremoved points below the truncation point keep their position and
+/// value; the returned `(from, to)` pairs record every relocated
+/// survivor, so callers can patch external per-point state (an index's
+/// buckets, a frame stream's ray-slot table) in `O(churn)`.
+///
+/// # Panics
+///
+/// Panics if any remove position is out of bounds (duplicates collapse
+/// to one removal).
+pub fn apply_point_delta(
+    points: &mut Vec<Point3>,
+    removes: &[u32],
+    inserts: &[Point3],
+) -> Vec<(u32, u32)> {
+    let n = points.len();
+    let mut holes: Vec<u32> = removes.to_vec();
+    holes.sort_unstable();
+    holes.dedup();
+    assert!(
+        holes.last().is_none_or(|&r| (r as usize) < n),
+        "remove position out of bounds: {:?} (len {n})",
+        holes.last()
+    );
+    let n_new = n - holes.len() + inserts.len();
+    let filled = holes.len().min(inserts.len());
+    for (&h, &p) in holes.iter().zip(inserts.iter()) {
+        points[h as usize] = p;
+    }
+    points.extend_from_slice(&inserts[filled..]);
+    let mut moves = Vec::new();
+    // Leftover holes (ascending): back-fill from the tail. A tail
+    // position that is itself a hole is consumed, not relocated.
+    let leftover = &holes[filled..];
+    let mut front = 0usize;
+    let mut back = leftover.len();
+    let mut tail = points.len();
+    while front < back {
+        tail -= 1;
+        if leftover[back - 1] as usize == tail {
+            back -= 1;
+            continue;
+        }
+        let to = leftover[front];
+        points[to as usize] = points[tail];
+        moves.push((tail as u32, to));
+        front += 1;
+    }
+    points.truncate(n_new);
+    moves
+}
+
 /// A hash index over a [`VoxelCloud`]'s lattice coordinates, for point
 /// lookups whose probe order is arbitrary. (Kernel-map construction
 /// probes coordinates in ascending key order, where a merge join
@@ -476,31 +733,42 @@ impl<'a> GridIndex<'a> {
 /// ```
 pub struct CoordIndex {
     /// Packed coordinate key per slot; [`CoordIndex::EMPTY`] marks a
-    /// free slot ([`Coord::key`] uses only the low 96 bits, so the
-    /// sentinel can never collide with a real key).
+    /// never-used slot and [`CoordIndex::TOMB`] a deleted one
+    /// ([`Coord::key`] uses only the low 96 bits, so neither sentinel
+    /// can collide with a real key).
     keys: Vec<u128>,
     vals: Vec<u32>,
     mask: usize,
     len: usize,
+    /// Live tombstones: deleted slots that still break probe chains.
+    /// Counted toward occupancy so deletion churn triggers a rehash
+    /// instead of degrading every probe toward a full-table scan.
+    tombs: usize,
 }
 
 impl CoordIndex {
     const EMPTY: u128 = u128::MAX;
+    const TOMB: u128 = u128::MAX - 1;
 
-    /// Builds the index over a cloud's (unique) coordinates.
+    /// Builds the index over a cloud's (unique) coordinates, with each
+    /// coordinate mapping to its cloud position.
     pub fn build(cloud: &VoxelCloud) -> Self {
-        let n = cloud.len();
-        let capacity = (2 * n).next_power_of_two().max(4);
-        let mut idx = CoordIndex {
-            keys: vec![Self::EMPTY; capacity],
-            vals: vec![0; capacity],
-            mask: capacity - 1,
-            len: 0,
-        };
+        let mut idx = Self::with_capacity_for(cloud.len());
         for (i, &c) in cloud.coords().iter().enumerate() {
             idx.insert(c.key(), i as u32);
         }
         idx
+    }
+
+    fn with_capacity_for(n: usize) -> Self {
+        let capacity = (2 * n).next_power_of_two().max(4);
+        CoordIndex {
+            keys: vec![Self::EMPTY; capacity],
+            vals: vec![0; capacity],
+            mask: capacity - 1,
+            len: 0,
+            tombs: 0,
+        }
     }
 
     /// Avalanching hash of a packed key, folded to the table's slot
@@ -514,21 +782,92 @@ impl CoordIndex {
 
     fn insert(&mut self, key: u128, val: u32) {
         let mut s = self.slot(key);
+        let mut grave: Option<usize> = None;
         loop {
             if self.keys[s] == Self::EMPTY {
-                self.keys[s] = key;
-                self.vals[s] = val;
+                // Absent: claim the earliest tombstone on the probe
+                // path (keeps chains short) or this empty slot.
+                match grave {
+                    Some(g) => {
+                        self.keys[g] = key;
+                        self.vals[g] = val;
+                        self.tombs -= 1;
+                    }
+                    None => {
+                        self.keys[s] = key;
+                        self.vals[s] = val;
+                    }
+                }
                 self.len += 1;
                 return;
             }
-            if self.keys[s] == key {
-                // Duplicate coordinate (impossible for a valid
-                // VoxelCloud): last write wins, as with a HashMap build.
+            if self.keys[s] == Self::TOMB {
+                grave.get_or_insert(s);
+            } else if self.keys[s] == key {
+                // Existing coordinate: last write wins, as with a
+                // HashMap build.
                 self.vals[s] = val;
                 return;
             }
             s = (s + 1) & self.mask;
         }
+    }
+
+    /// Inserts or overwrites one coordinate's value, rehashing first if
+    /// occupancy (live keys + tombstones) would pass ~50 % load.
+    pub fn upsert(&mut self, c: Coord, val: u32) {
+        if (self.len + self.tombs + 1) * 2 > self.keys.len() {
+            self.rehash();
+        }
+        self.insert(c.key(), val);
+    }
+
+    /// Removes `c`, returning its value if it was present. The slot
+    /// becomes a tombstone (probe chains through it stay intact);
+    /// tombstone buildup is reclaimed by the next [`CoordIndex::upsert`]
+    /// rehash.
+    pub fn remove(&mut self, c: Coord) -> Option<u32> {
+        let key = c.key();
+        let mut s = self.slot(key);
+        loop {
+            if self.keys[s] == key {
+                self.keys[s] = Self::TOMB;
+                self.len -= 1;
+                self.tombs += 1;
+                return Some(self.vals[s]);
+            }
+            if self.keys[s] == Self::EMPTY {
+                return None;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Applies a coordinate delta: removes first, then upserts — so a
+    /// coordinate both removed and (re)inserted ends up present with
+    /// its new value, matching [`GridIndex::apply_delta`]'s
+    /// remove-then-insert order. Cost scales with the delta, not the
+    /// table (amortized over rehashes). Equivalence to a from-scratch
+    /// [`CoordIndex::build`] is property-tested in `tests/streaming.rs`.
+    pub fn apply_delta(&mut self, removes: &[Coord], inserts: &[(Coord, u32)]) {
+        for &c in removes {
+            self.remove(c);
+        }
+        for &(c, v) in inserts {
+            self.upsert(c, v);
+        }
+    }
+
+    /// Rebuilds the table from its live entries at ~50 % load for the
+    /// current size, dropping every tombstone.
+    fn rehash(&mut self) {
+        let mut fresh = Self::with_capacity_for(self.len + 1);
+        for (i, &key) in self.keys.iter().enumerate() {
+            if key != Self::EMPTY && key != Self::TOMB {
+                fresh.insert(key, self.vals[i]);
+            }
+        }
+        *self = fresh;
     }
 
     /// Index of `c` in the cloud, if present.
@@ -544,6 +883,33 @@ impl CoordIndex {
             }
             s = (s + 1) & self.mask;
         }
+    }
+
+    /// Kernel mapping probed through this index instead of a freshly
+    /// hashed table: the exact loop structure of
+    /// [`golden::kernel_map_hash`] (offset-major, outputs ascending per
+    /// weight group), so when the stored values equal the input cloud's
+    /// positions the result is **bit-identical** to the golden table —
+    /// an incrementally maintained index can serve kernel maps without
+    /// re-hashing the full cloud each frame. `stride` is the input
+    /// cloud's stride (the kernel's dilation).
+    pub fn kernel_map_probe(
+        &self,
+        stride: i32,
+        output: &VoxelCloud,
+        kernel_size: usize,
+    ) -> MapTable {
+        let offsets = golden::kernel_offsets(kernel_size);
+        let mut entries = Vec::new();
+        for (w, &d) in offsets.iter().enumerate() {
+            let dd = d.scale(stride);
+            for (qi, &q) in output.coords().iter().enumerate() {
+                if let Some(pi) = self.get(q.offset(dd)) {
+                    entries.push(crate::MapEntry::new(pi, qi as u32, w as u16));
+                }
+            }
+        }
+        MapTable::from_entries(entries, offsets.len())
     }
 
     /// Number of indexed coordinates.
@@ -705,7 +1071,7 @@ impl Indexed {
     /// and channel traffic stay off the per-query cost.
     fn batch<F>(&self, input: &PointSet, queries: &PointSet, query: F) -> Vec<Vec<usize>>
     where
-        F: Fn(&GridIndex<'_>, Point3) -> Vec<usize> + Sync,
+        F: Fn(&GridIndex, Point3) -> Vec<usize> + Sync,
     {
         let index = GridIndex::build(input.points());
         let work = input.len().saturating_mul(queries.len());
@@ -1443,5 +1809,123 @@ mod tests {
         for (i, &c) in vc.coords().iter().enumerate() {
             assert_eq!(idx.get(c), Some(i as u32));
         }
+    }
+
+    #[test]
+    fn coord_index_remove_and_upsert() {
+        let vc = pseudo_cloud(40, 13, 1);
+        let mut idx = CoordIndex::build(&vc);
+        let victim = vc.coords()[7];
+        assert!(idx.remove(victim).is_some());
+        assert_eq!(idx.get(victim), None);
+        assert_eq!(idx.len(), vc.len() - 1);
+        // Probe chains through the tombstone stay intact.
+        for (i, &c) in vc.coords().iter().enumerate() {
+            if c != victim {
+                assert_eq!(idx.get(c), Some(i as u32), "coord {i} lost after remove");
+            }
+        }
+        // Re-inserting reclaims the tombstone; removing a missing
+        // coordinate is a no-op.
+        idx.upsert(victim, 99);
+        assert_eq!(idx.get(victim), Some(99));
+        assert_eq!(idx.len(), vc.len());
+        assert_eq!(idx.remove(Coord::new(1000, 1000, 1000)), None);
+    }
+
+    #[test]
+    fn coord_index_survives_churn_rehash() {
+        // Heavy remove/insert churn forces tombstone buildup past the
+        // load threshold: every probe must still terminate and resolve.
+        let mut idx = CoordIndex::with_capacity_for(8);
+        for round in 0..200i32 {
+            idx.upsert(Coord::new(round, -round, 1), round as u32);
+            if round >= 8 {
+                idx.remove(Coord::new(round - 8, -(round - 8), 1));
+            }
+        }
+        assert_eq!(idx.len(), 8);
+        for round in 192..200i32 {
+            assert_eq!(idx.get(Coord::new(round, -round, 1)), Some(round as u32));
+        }
+        assert_eq!(idx.get(Coord::new(0, 0, 1)), None);
+    }
+
+    #[test]
+    fn coord_index_probe_matches_golden_kernel_map() {
+        let cloud = pseudo_cloud(120, 21, 1);
+        let (coarse, _) = cloud.downsample(2);
+        let idx = CoordIndex::build(&cloud);
+        for ks in [2usize, 3] {
+            let got = idx.kernel_map_probe(cloud.stride(), &coarse, ks);
+            let want = golden::kernel_map_hash(&cloud, &coarse, ks);
+            assert_eq!(got.to_entries(), want.to_entries(), "kernel_size={ks}");
+        }
+    }
+
+    #[test]
+    fn apply_point_delta_layout() {
+        let p = |i: i32| Point3::new(i as f32, 0.0, 0.0);
+        // More inserts than holes: holes filled in order, spill appended.
+        let mut pts: Vec<Point3> = (0..5).map(p).collect();
+        let moves = apply_point_delta(&mut pts, &[1, 3], &[p(10), p(11), p(12)]);
+        assert!(moves.is_empty());
+        assert_eq!(pts, vec![p(0), p(10), p(2), p(11), p(4), p(12)]);
+        // More holes than inserts: tail back-fills, array shrinks.
+        let mut pts: Vec<Point3> = (0..6).map(p).collect();
+        let moves = apply_point_delta(&mut pts, &[0, 2, 4], &[p(20)]);
+        assert_eq!(moves, vec![(5, 2)]);
+        assert_eq!(pts, vec![p(20), p(1), p(5), p(3)]);
+        // Tail positions that are themselves holes are consumed, not moved.
+        let mut pts: Vec<Point3> = (0..6).map(p).collect();
+        let moves = apply_point_delta(&mut pts, &[1, 4, 5], &[]);
+        assert_eq!(moves, vec![(3, 1)]);
+        assert_eq!(pts, vec![p(0), p(3), p(2)]);
+        // Empty delta is the identity.
+        let mut pts: Vec<Point3> = (0..4).map(p).collect();
+        assert!(apply_point_delta(&mut pts, &[], &[]).is_empty());
+        assert_eq!(pts.len(), 4);
+    }
+
+    #[test]
+    fn grid_apply_delta_matches_rebuild() {
+        let base = pseudo_points(400, 41);
+        let mut live = GridIndex::build(base.points());
+        let mut mirror: Vec<Point3> = base.points().to_vec();
+        let extra = pseudo_points(64, 43);
+        let queries = pseudo_points(25, 47);
+        let steps = [
+            (vec![3u32, 9, 9, 250], &extra.points()[..8]),
+            (vec![], &extra.points()[8..8]), // empty delta
+            ((0..32u32).collect::<Vec<_>>(), &extra.points()[8..12]), // shrink
+            (vec![0, 1, 2], &extra.points()[12..64]), // grow
+        ];
+        for (step, (removes, inserts)) in steps.into_iter().enumerate() {
+            live.apply_delta(&removes, inserts);
+            apply_point_delta(&mut mirror, &removes, inserts);
+            let fresh = GridIndex::build(&mirror);
+            assert_eq!(live.points(), fresh.points(), "step {step}: arrays diverged");
+            for &q in queries.points() {
+                assert_eq!(live.knn(q, 7), fresh.knn(q, 7), "step {step}");
+                assert_eq!(live.ball(q, 9.0, 6), fresh.ball(q, 9.0, 6), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_apply_delta_outside_coverage_rebuilds_correctly() {
+        let base = pseudo_points(200, 51);
+        let mut live = GridIndex::build(base.points());
+        // Far outside the built bounding box: must take the rebuild
+        // path, and queries must still match a from-scratch build.
+        let outlier = Point3::new(1e4, -1e4, 1e4);
+        live.apply_delta(&[5], &[outlier]);
+        let mut mirror: Vec<Point3> = base.points().to_vec();
+        apply_point_delta(&mut mirror, &[5], &[outlier]);
+        let fresh = GridIndex::build(&mirror);
+        for &q in pseudo_points(10, 53).points() {
+            assert_eq!(live.knn(q, 5), fresh.knn(q, 5));
+        }
+        assert_eq!(live.knn(outlier, 1), fresh.knn(outlier, 1));
     }
 }

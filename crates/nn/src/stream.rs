@@ -1,0 +1,316 @@
+//! Cross-frame trace reuse for streaming point-cloud serving.
+//!
+//! A LiDAR stream's consecutive sweeps overlap heavily (the paper's
+//! SemanticKITTI workload is a sequence, not independent clouds), yet
+//! mapping-op compilation — the dominant trace cost — recomputes from
+//! scratch per request. [`StreamingTracer`] wraps an [`Executor`] with
+//! two delta-aware fast paths checked per frame, cheapest first:
+//!
+//! 1. **Exact reuse** — the frame's points are bit-identical to the
+//!    previous frame's (hash-gated, then verified by full comparison, so
+//!    a hash collision can never serve a wrong trace). Every executor
+//!    product is a pure function of `(network, seed, points)`, so the
+//!    cached output is returned as-is.
+//! 2. **Voxel reuse** — for voxel-domain networks, the frame voxelizes
+//!    to the same lattice cloud even though raw points jittered or
+//!    churned within voxels. The executor derives both the trace and
+//!    the input features from the voxel cloud alone (voxel centers), so
+//!    the cached output is again exact, not approximate — equivalence
+//!    is pinned by fingerprint-equality tests in `tests/streaming.rs`.
+//!
+//! Anything else compiles normally and replaces the cached frame.
+//! Reuse is reported through [`StreamStats`], mirroring the
+//! `CacheStats::accounting` style the warm-start CI check greps.
+
+use pointacc_geom::{PointSet, VoxelCloud};
+
+use crate::{Domain, ExecError, ExecMode, ExecOutput, Executor, Network};
+
+/// How a frame's request was satisfied.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReuseOutcome {
+    /// Points bit-identical to the previous frame: cached output reused.
+    ExactReuse,
+    /// Same voxel lattice as the previous frame (voxel-domain network):
+    /// cached output reused.
+    VoxelReuse,
+    /// No reusable previous frame: compiled by the executor.
+    Compiled,
+}
+
+/// Per-stream reuse accounting, in the same spirit (and greppable line
+/// format) as the trace cache's `CacheStats`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames served (successful runs only).
+    pub frames: u64,
+    /// Frames served from the exact-match fast path.
+    pub exact_reuses: u64,
+    /// Frames served from the voxel-equality fast path.
+    pub voxel_reuses: u64,
+    /// Frames that compiled a fresh trace.
+    pub compiles: u64,
+}
+
+impl StreamStats {
+    /// One-line accounting summary; `compiles=…` is the token CI greps
+    /// to enforce that steady-state identical-geometry frames compile
+    /// zero new traces.
+    pub fn accounting(&self) -> String {
+        format!(
+            "frames={} exact_reuses={} voxel_reuses={} compiles={}",
+            self.frames, self.exact_reuses, self.voxel_reuses, self.compiles
+        )
+    }
+
+    fn record(&mut self, outcome: ReuseOutcome) {
+        self.frames += 1;
+        match outcome {
+            ReuseOutcome::ExactReuse => self.exact_reuses += 1,
+            ReuseOutcome::VoxelReuse => self.voxel_reuses += 1,
+            ReuseOutcome::Compiled => self.compiles += 1,
+        }
+    }
+}
+
+/// FNV-1a over the point coordinates' bit patterns: a cheap gate before
+/// the exact comparison (never trusted on its own).
+fn point_hash(points: &PointSet) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u32| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for p in points.points() {
+        eat(p.x.to_bits());
+        eat(p.y.to_bits());
+        eat(p.z.to_bits());
+    }
+    h
+}
+
+struct CachedFrame {
+    network: String,
+    point_hash: u64,
+    points: PointSet,
+    /// The frame's voxelization, kept only for voxel-domain networks.
+    voxels: Option<VoxelCloud>,
+    output: ExecOutput,
+}
+
+/// An [`Executor`] wrapper that serves a frame stream, reusing the
+/// previous frame's compiled output whenever the fast-path checks prove
+/// it is bit-identical to what a fresh compile would produce.
+///
+/// # Examples
+///
+/// ```
+/// use pointacc_nn::stream::{ReuseOutcome, StreamingTracer};
+/// use pointacc_nn::{zoo, ExecMode};
+/// use pointacc_geom::{Point3, PointSet};
+///
+/// let net = zoo::minknet_outdoor();
+/// let pts: PointSet = (0..256)
+///     .map(|i| Point3::new(i as f32 * 0.3, (i % 16) as f32 * 0.4, 0.0))
+///     .collect();
+/// let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+/// let (_, first) = tracer.run_frame(&net, &pts).unwrap();
+/// let (_, second) = tracer.run_frame(&net, &pts).unwrap();
+/// assert_eq!(first, ReuseOutcome::Compiled);
+/// assert_eq!(second, ReuseOutcome::ExactReuse);
+/// assert_eq!(tracer.stats().compiles, 1);
+/// ```
+pub struct StreamingTracer {
+    exec: Executor,
+    last: Option<CachedFrame>,
+    stats: StreamStats,
+}
+
+impl StreamingTracer {
+    /// Creates a streaming tracer over [`Executor::new`] with the given
+    /// fidelity and weight seed.
+    pub fn new(mode: ExecMode, seed: u64) -> Self {
+        Self::over(Executor::new(mode, seed))
+    }
+
+    /// Wraps an explicitly configured executor (backend, exec options).
+    pub fn over(exec: Executor) -> Self {
+        StreamingTracer { exec, last: None, stats: StreamStats::default() }
+    }
+
+    /// Runs one frame, reusing the previous frame's output when one of
+    /// the fast paths proves equivalence. Returns the output and how it
+    /// was produced. A failed run neither counts a frame nor disturbs
+    /// the cached one.
+    pub fn run_frame(
+        &mut self,
+        net: &Network,
+        points: &PointSet,
+    ) -> Result<(ExecOutput, ReuseOutcome), ExecError> {
+        let hash = point_hash(points);
+        if let Some(last) = &self.last {
+            if last.network == net.name()
+                && last.point_hash == hash
+                && last.points.points() == points.points()
+            {
+                self.stats.record(ReuseOutcome::ExactReuse);
+                return Ok((last.output.clone(), ReuseOutcome::ExactReuse));
+            }
+        }
+        // Voxel-domain networks depend on the input only through its
+        // voxelization (the executor derives input features from voxel
+        // centers), so lattice equality implies output equality.
+        let voxels = match net.domain() {
+            Domain::VoxelBased => match net.voxel_size() {
+                Some(v) if v.is_finite() && v > 0.0 && !points.is_empty() => {
+                    Some(points.voxelize(v).0)
+                }
+                _ => None,
+            },
+            Domain::PointBased => None,
+        };
+        if let (Some(vc), Some(last)) = (&voxels, &self.last) {
+            if last.network == net.name()
+                && last.voxels.as_ref().is_some_and(|lv| lv.coords() == vc.coords())
+            {
+                let output = last.output.clone();
+                self.last = Some(CachedFrame {
+                    network: net.name().to_string(),
+                    point_hash: hash,
+                    points: points.clone(),
+                    voxels,
+                    output: output.clone(),
+                });
+                self.stats.record(ReuseOutcome::VoxelReuse);
+                return Ok((output, ReuseOutcome::VoxelReuse));
+            }
+        }
+        let output = self.exec.try_run(net, points)?;
+        self.last = Some(CachedFrame {
+            network: net.name().to_string(),
+            point_hash: hash,
+            points: points.clone(),
+            voxels,
+            output: output.clone(),
+        });
+        self.stats.record(ReuseOutcome::Compiled);
+        Ok((output, ReuseOutcome::Compiled))
+    }
+
+    /// Cumulative reuse accounting.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Drops the cached frame (the next run compiles), keeping stats.
+    pub fn invalidate(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use pointacc_geom::Point3;
+
+    fn cloud(n: usize, seed: u64) -> PointSet {
+        let mut x = seed | 1;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f32 / 50.0 - 10.0
+        };
+        (0..n).map(|_| Point3::new(step(), step(), step())).collect()
+    }
+
+    #[test]
+    fn exact_reuse_matches_fresh_compile() {
+        let net = zoo::minknet_outdoor();
+        let pts = cloud(600, 3);
+        let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+        let (first, o1) = tracer.run_frame(&net, &pts).unwrap();
+        let (second, o2) = tracer.run_frame(&net, &pts).unwrap();
+        assert_eq!(o1, ReuseOutcome::Compiled);
+        assert_eq!(o2, ReuseOutcome::ExactReuse);
+        assert_eq!(first.trace.fingerprint(), second.trace.fingerprint());
+        assert_eq!(
+            tracer.stats().accounting(),
+            "frames=2 exact_reuses=1 voxel_reuses=0 compiles=1"
+        );
+    }
+
+    #[test]
+    fn voxel_reuse_fires_on_jittered_points() {
+        let net = zoo::minknet_outdoor();
+        let v = net.voxel_size().unwrap();
+        // Snap points to voxel centers so a sub-half-voxel jitter
+        // provably stays inside the same lattice cell.
+        let center = |x: f32| ((x / v).floor() + 0.5) * v;
+        let pts: PointSet = cloud(600, 5)
+            .points()
+            .iter()
+            .map(|p| Point3::new(center(p.x), center(p.y), center(p.z)))
+            .collect();
+        let jittered: PointSet = pts
+            .points()
+            .iter()
+            .map(|p| Point3::new(p.x + 0.2 * v, p.y - 0.2 * v, p.z + 0.1 * v))
+            .collect();
+        assert_eq!(pts.voxelize(v).0.coords(), jittered.voxelize(v).0.coords());
+        let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+        let (first, _) = tracer.run_frame(&net, &pts).unwrap();
+        let (second, outcome) = tracer.run_frame(&net, &jittered).unwrap();
+        assert_eq!(outcome, ReuseOutcome::VoxelReuse);
+        // Bit-identical to what a fresh compile would have produced.
+        let fresh = Executor::new(ExecMode::TraceOnly, 42).try_run(&net, &jittered).unwrap();
+        assert_eq!(second.trace.fingerprint(), fresh.trace.fingerprint());
+        assert_eq!(first.trace.fingerprint(), second.trace.fingerprint());
+    }
+
+    #[test]
+    fn changed_geometry_recompiles() {
+        let net = zoo::minknet_outdoor();
+        let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+        tracer.run_frame(&net, &cloud(500, 7)).unwrap();
+        let (_, outcome) = tracer.run_frame(&net, &cloud(500, 9)).unwrap();
+        assert_eq!(outcome, ReuseOutcome::Compiled);
+        assert_eq!(tracer.stats().compiles, 2);
+    }
+
+    #[test]
+    fn point_domain_networks_only_reuse_exact_matches() {
+        let net = zoo::pointnet_pp_segmentation();
+        let pts = cloud(400, 11);
+        let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+        tracer.run_frame(&net, &pts).unwrap();
+        let nudged: PointSet =
+            pts.points().iter().map(|p| Point3::new(p.x + 1e-6, p.y, p.z)).collect();
+        let (_, outcome) = tracer.run_frame(&net, &nudged).unwrap();
+        assert_eq!(outcome, ReuseOutcome::Compiled, "no voxel lattice to prove equivalence");
+    }
+
+    #[test]
+    fn network_switch_invalidates_reuse() {
+        let pts = cloud(500, 13);
+        let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+        tracer.run_frame(&zoo::minknet_outdoor(), &pts).unwrap();
+        let (_, outcome) = tracer.run_frame(&zoo::minknet_indoor(), &pts).unwrap();
+        assert_eq!(outcome, ReuseOutcome::Compiled);
+    }
+
+    #[test]
+    fn failed_runs_leave_cache_and_stats_untouched() {
+        let net = zoo::minknet_outdoor();
+        let pts = cloud(300, 17);
+        let mut tracer = StreamingTracer::new(ExecMode::TraceOnly, 42);
+        tracer.run_frame(&net, &pts).unwrap();
+        assert!(tracer.run_frame(&net, &PointSet::new()).is_err());
+        assert_eq!(tracer.stats().frames, 1);
+        let (_, outcome) = tracer.run_frame(&net, &pts).unwrap();
+        assert_eq!(outcome, ReuseOutcome::ExactReuse, "cached frame survived the failed run");
+    }
+}

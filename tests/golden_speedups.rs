@@ -17,17 +17,25 @@ use pointacc_baselines::{Mesorasi, MesorasiSw, Platform};
 use pointacc_bench::harness::{Grid, GridRun};
 
 /// Workload lock: do not change without regenerating the snapshots.
+///
+/// Snapshot history: regenerated when the LiDAR generator's range
+/// jitter was clamped to `(MIN_RANGE, max_range]` and along-ray to the
+/// ground plane — the fix changes every generated outdoor cloud, so
+/// the platform geomeans (which include KITTI/SemanticKITTI cells)
+/// moved by ~1 %. Mesorasi rows, whose supported benchmarks run on
+/// object/indoor clouds only, did not move — the expected signature of
+/// a data-only change.
 const GOLDEN_SEED: u64 = 42;
 
 /// `(baseline name, geomean speedup of PointAcc.Full over it)` across
 /// every (benchmark, seed) cell the baseline supports, at scale 0.05.
 const GOLDEN_GEOMEANS: [(&str, f64); 9] = [
-    ("RTX 2080Ti", 4.103448195550159),
-    ("Xeon + TPUv3", 49.22709469905911),
-    ("Xeon Gold 6130", 79.3468815171243),
-    ("Jetson Xavier NX", 16.4903456389767),
-    ("Jetson Nano", 40.06575072761132),
-    ("Raspberry Pi 4B", 683.301170492624),
+    ("RTX 2080Ti", 4.080054851929079),
+    ("Xeon + TPUv3", 49.43726289166521),
+    ("Xeon Gold 6130", 77.94400435418369),
+    ("Jetson Xavier NX", 16.29305904062138),
+    ("Jetson Nano", 39.489281450546),
+    ("Raspberry Pi 4B", 670.389106568264),
     ("Mesorasi", 28.319231858542654),
     ("Mesorasi-SW on Jetson Nano", 27.289168025352986),
     ("Mesorasi-SW on Raspberry Pi 4B", 314.7041152127234),
@@ -36,12 +44,12 @@ const GOLDEN_GEOMEANS: [(&str, f64); 9] = [
 /// `(baseline name, geomean energy ratio rival/PointAcc.Full)` at scale
 /// 0.05 — the "energy savings" axis of Fig. 13/14.
 const GOLDEN_ENERGY_RATIOS: [(&str, f64); 9] = [
-    ("RTX 2080Ti", 27.21304037795327),
-    ("Xeon + TPUv3", 365.63717003909835),
-    ("Xeon Gold 6130", 263.10431954907136),
-    ("Jetson Xavier NX", 6.561590452729668),
-    ("Jetson Nano", 10.628240839066493),
-    ("Raspberry Pi 4B", 108.75557213418446),
+    ("RTX 2080Ti", 27.137951279976413),
+    ("Xeon + TPUv3", 368.2845476627045),
+    ("Xeon Gold 6130", 259.2171759320842),
+    ("Jetson Xavier NX", 6.502269089403624),
+    ("Jetson Nano", 10.506311654898521),
+    ("Raspberry Pi 4B", 107.01613133896795),
     ("Mesorasi", 1.6924768870519833),
     ("Mesorasi-SW on Jetson Nano", 7.35422971357169),
     ("Mesorasi-SW on Raspberry Pi 4B", 50.8862641674638),
@@ -50,12 +58,12 @@ const GOLDEN_ENERGY_RATIOS: [(&str, f64); 9] = [
 /// Geomean speedups at the larger scale 0.1 workload (feasible in a
 /// test since trace compilation moved to the indexed mapping backend).
 const GOLDEN_GEOMEANS_SCALE_0_1: [(&str, f64); 9] = [
-    ("RTX 2080Ti", 4.244190676374155),
-    ("Xeon + TPUv3", 50.4200662672314),
-    ("Xeon Gold 6130", 83.75119016582455),
-    ("Jetson Xavier NX", 17.920007466276274),
-    ("Jetson Nano", 44.26857382266308),
-    ("Raspberry Pi 4B", 783.0603481533475),
+    ("RTX 2080Ti", 4.224138584427365),
+    ("Xeon + TPUv3", 50.69234232515822),
+    ("Xeon Gold 6130", 82.45071791160262),
+    ("Jetson Xavier NX", 17.741070959899265),
+    ("Jetson Nano", 43.72709828102217),
+    ("Raspberry Pi 4B", 770.1969849333992),
     ("Mesorasi", 35.280599519970096),
     ("Mesorasi-SW on Jetson Nano", 29.75230717675847),
     ("Mesorasi-SW on Raspberry Pi 4B", 371.2077620461859),
