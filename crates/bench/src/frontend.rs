@@ -453,6 +453,11 @@ impl<'a> Frontend<'a> {
             }
         }
 
+        // These per-engine workers are blocking queue consumers that suspend
+        // on `queue.pop()` for the whole run — not map-shaped work, so routing
+        // them through the pointacc_geom::par pool would wedge its workers
+        // behind queues the pool itself is expected to feed.
+        // lint: allow(thread-spawn): blocking per-engine queue consumers, not map-shaped.
         let (submitted, completions): (usize, Vec<Completion>) = std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<Completion>();
             for (engine_idx, engine) in self.engines.iter().enumerate() {

@@ -31,11 +31,9 @@
 //! oracle (read once per process).
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
-use std::thread;
+use std::sync::Mutex;
 
-use crate::par::{parallel_map, worker_threads};
+use crate::par::{lock, parallel_map, parallel_map_with, worker_threads};
 use crate::{golden, Coord, MapTable, Point3, PointSet, VoxelCloud};
 
 /// Packs a non-negative squared distance and tie-breaking index into one
@@ -70,6 +68,12 @@ const FPS_PAR_WORK: u64 = 1 << 21;
 /// Minimum points per parallel-FPS worker chunk: below this the
 /// per-iteration barrier dominates the chunk scan.
 const FPS_MIN_CHUNK: usize = 2048;
+
+/// Minimum `n·m` work product for the bucket-pruned exact FPS path:
+/// below it, the `O(n)` index/tile build costs more than the distance
+/// evaluations pruning could save, so the golden serial sweep runs
+/// as-is.
+const FPS_PRUNE_WORK: u64 = 1 << 14;
 
 /// Minimum cloud size for grid-stratified approximate FPS; smaller
 /// clouds fall back to exact sampling (stratification overhead and the
@@ -124,6 +128,11 @@ pub struct GridIndex {
     xs: Vec<f32>,
     ys: Vec<f32>,
     zs: Vec<f32>,
+    /// Tight elementwise min/max over the indexed points (`None` when
+    /// empty), maintained through [`GridIndex::apply_delta`] — callers
+    /// that already hold an index reuse this instead of re-scanning the
+    /// cloud (e.g. [`fps_stratified_with_bounds`]).
+    bounds: Option<(Point3, Point3)>,
 }
 
 impl GridIndex {
@@ -135,7 +144,19 @@ impl GridIndex {
         Self::build_owned(points.to_vec())
     }
 
+    /// [`GridIndex::build`] reusing an already-computed tight bounding
+    /// box (as returned by [`PointSet::bounds`]) so callers that just
+    /// scanned the cloud — stratified FPS falling back to exact, the
+    /// streaming frame path — do not pay the min/max pass twice.
+    pub fn build_with_bounds(points: &[Point3], bounds: (Point3, Point3)) -> Self {
+        Self::build_owned_with(points.to_vec(), Some(bounds))
+    }
+
     fn build_owned(points: Vec<Point3>) -> Self {
+        Self::build_owned_with(points, None)
+    }
+
+    fn build_owned_with(points: Vec<Point3>, known_bounds: Option<(Point3, Point3)>) -> Self {
         let n = points.len();
         if n == 0 {
             return GridIndex {
@@ -150,18 +171,22 @@ impl GridIndex {
                 xs: Vec::new(),
                 ys: Vec::new(),
                 zs: Vec::new(),
+                bounds: None,
             };
         }
-        let mut min = points[0];
-        let mut max = points[0];
-        for p in &points {
-            min.x = min.x.min(p.x);
-            min.y = min.y.min(p.y);
-            min.z = min.z.min(p.z);
-            max.x = max.x.max(p.x);
-            max.y = max.y.max(p.y);
-            max.z = max.z.max(p.z);
-        }
+        let (min, max) = known_bounds.unwrap_or_else(|| {
+            let mut min = points[0];
+            let mut max = points[0];
+            for p in &points {
+                min.x = min.x.min(p.x);
+                min.y = min.y.min(p.y);
+                min.z = min.z.min(p.z);
+                max.x = max.x.max(p.x);
+                max.y = max.y.max(p.y);
+                max.z = max.z.max(p.z);
+            }
+            (min, max)
+        });
         let ext = [max.x - min.x, max.y - min.y, max.z - min.z];
         let (cell, dims) = if ext.iter().all(|e| e.is_finite()) {
             Self::pick_cell(ext, n)
@@ -215,7 +240,16 @@ impl GridIndex {
             xs,
             ys,
             zs,
+            bounds: Some((min, max)),
         }
+    }
+
+    /// Tight elementwise bounding box of the indexed points (`None`
+    /// when empty) — computed during the build, kept tight through
+    /// [`GridIndex::apply_delta`], so holders of an index never need to
+    /// re-scan the cloud for its extent.
+    pub fn bounds(&self) -> Option<(Point3, Point3)> {
+        self.bounds
     }
 
     /// Number of indexed points.
@@ -382,6 +416,19 @@ impl GridIndex {
         self.xs = xs;
         self.ys = ys;
         self.zs = zs;
+        // Re-tighten the stored bounds (removals can shrink them): one
+        // more linear pass over a path that is already O(n).
+        let mut min = self.points[0];
+        let mut max = self.points[0];
+        for p in &self.points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            min.z = min.z.min(p.z);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+            max.z = max.z.max(p.z);
+        }
+        self.bounds = Some((min, max));
         moves
     }
 
@@ -1092,25 +1139,49 @@ impl MappingBackend for Indexed {
         "indexed"
     }
 
+    /// Exact FPS, bit-identical to golden on every path: the
+    /// bucket-pruned sweep ([`fps_pruned`]) once the `n·m` work product
+    /// covers the index build, with the chunk-parallel layer
+    /// ([`fps_parallel`]) on top past [`fps_workers`]' gate; tiny
+    /// workloads run the golden serial scan directly.
     fn farthest_point_sampling(&self, points: &PointSet, m: usize) -> Vec<usize> {
         assert!(m <= points.len(), "cannot sample {m} from {} points", points.len());
-        let workers = fps_workers(worker_threads(), points.len(), m);
-        if workers <= 1 {
-            return golden::farthest_point_sampling(points, m);
+        let n = points.len();
+        let workers = fps_workers(worker_threads(), n, m);
+        if workers > 1 {
+            return fps_parallel(points, m, workers);
         }
-        fps_parallel(points, m, workers)
+        if (n as u64).saturating_mul(m as u64) >= FPS_PRUNE_WORK && m >= 2 {
+            return fps_pruned(points, m).0;
+        }
+        golden::farthest_point_sampling(points, m)
     }
 
     /// Grid-stratified approximate FPS ([`fps_stratified`]); falls back
     /// to exact sampling whenever stratification cannot pay for itself
     /// (small clouds, dense sampling ratios, degenerate bounding boxes).
+    /// The bounding box is scanned **once** and shared between the
+    /// stratifier and the exact fallback's grid build.
     fn fps_approx(&self, points: &PointSet, m: usize) -> Vec<usize> {
         assert!(m <= points.len(), "cannot sample {m} from {} points", points.len());
         let n = points.len();
         if n >= FPS_APPROX_MIN && m >= 1 && 2 * m < n {
-            if let Some((sel, _cell)) = fps_stratified(points, m) {
+            let Some(bounds) = points.bounds() else {
+                return self.farthest_point_sampling(points, m);
+            };
+            if let Some((sel, _cell)) = fps_stratified_with_bounds(points, m, bounds) {
                 return sel;
             }
+            // Exact fallback: reuse the same bounds for the grid build.
+            let workers = fps_workers(worker_threads(), n, m);
+            if workers > 1 {
+                return fps_parallel(points, m, workers);
+            }
+            if (n as u64).saturating_mul(m as u64) >= FPS_PRUNE_WORK && m >= 2 {
+                let index = GridIndex::build_with_bounds(points.points(), bounds);
+                return fps_pruned_with_index(&index, m).0;
+            }
+            return golden::farthest_point_sampling(points, m);
         }
         self.farthest_point_sampling(points, m)
     }
@@ -1420,21 +1491,23 @@ fn fps_workers(available: usize, n: usize, m: usize) -> usize {
 /// zero-volume bounding box, or too few occupied cells to pick `m`
 /// distinct points — and the caller should fall back to exact FPS.
 pub fn fps_stratified(points: &PointSet, m: usize) -> Option<(Vec<usize>, f32)> {
+    fps_stratified_with_bounds(points, m, points.bounds()?)
+}
+
+/// [`fps_stratified`] reusing an already-computed tight bounding box —
+/// from [`PointSet::bounds`] or [`GridIndex::bounds`] when an index is
+/// already built for the cloud — so callers (notably per-frame
+/// streaming sampling) do not re-scan the cloud extent on every call.
+pub fn fps_stratified_with_bounds(
+    points: &PointSet,
+    m: usize,
+    (min, max): (Point3, Point3),
+) -> Option<(Vec<usize>, f32)> {
     let n = points.len();
     if m == 0 || m > n {
         return None;
     }
     let pts = points.points();
-    let mut min = pts[0];
-    let mut max = pts[0];
-    for p in pts {
-        min.x = min.x.min(p.x);
-        min.y = min.y.min(p.y);
-        min.z = min.z.min(p.z);
-        max.x = max.x.max(p.x);
-        max.y = max.y.max(p.y);
-        max.z = max.z.max(p.z);
-    }
     let ext = [max.x - min.x, max.y - min.y, max.z - min.z];
     if !ext.iter().all(|e| e.is_finite()) {
         return None;
@@ -1483,71 +1556,228 @@ pub fn fps_stratified(points: &PointSet, m: usize) -> Option<(Vec<usize>, f32)> 
     None
 }
 
-/// Exact chunk-parallel farthest point sampling.
-///
-/// Each worker owns a contiguous chunk of the running min-distance
-/// array; per iteration it updates its chunk, reduces a chunk-local
-/// arg-max, and publishes it. After a barrier every worker performs the
-/// same deterministic cross-chunk reduction (strictly-greater distance
-/// wins, ties to the lowest index — encoded so `max` on the packed key
-/// implements exactly the serial scan's policy), so all workers agree on
-/// the next selected point without further communication.
-fn fps_parallel(points: &PointSet, m: usize, workers: usize) -> Vec<usize> {
-    let n = points.len();
-    let pts = points.points();
-    let chunk_len = n.div_ceil(workers);
-    let workers = n.div_ceil(chunk_len);
-    let mut dist = vec![f32::INFINITY; n];
-    // Per-worker slots: (dist bits << 32) | (u32::MAX - index), so the
-    // maximum key is the maximum distance with ties to the lowest index.
-    let slots: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    let barrier = Barrier::new(workers);
-    let mut selected = Vec::with_capacity(m);
-    selected.push(0usize);
+/// One contiguous run of Morton-ordered bucket slots with the tight
+/// AABB of its member points — the pruning granule of [`fps_pruned`].
+struct FpsTile {
+    /// Global slot range `[start, end)`.
+    start: u32,
+    end: u32,
+    lo: [f32; 3],
+    hi: [f32; 3],
+}
 
-    let worker_loop = |base: usize, chunk: &mut [f32], mut record: Option<&mut Vec<usize>>| {
-        let mut current = 0usize;
-        for _ in 1..m {
-            let q = pts[current];
-            let slot = &slots[base / chunk_len];
-            let mut best_key = 0u64;
-            for (j, d) in chunk.iter_mut().enumerate() {
-                let i = base + j;
-                let nd = pts[i].dist2(q);
+impl FpsTile {
+    /// Conservative lower bound on the squared distance from `q` to any
+    /// point of the tile: the squared gap to the AABB (0 inside).
+    /// Non-finite coordinates degrade safely — `f32::max` discards a
+    /// NaN operand, and a NaN result fails the `>=` skip test — so the
+    /// bound can only ever under-estimate, never prune wrongly.
+    fn gap2(&self, q: Point3) -> f32 {
+        let gx = (self.lo[0] - q.x).max(q.x - self.hi[0]).max(0.0);
+        let gy = (self.lo[1] - q.y).max(q.y - self.hi[1]).max(0.0);
+        let gz = (self.lo[2] - q.z).max(q.z - self.hi[2]).max(0.0);
+        gx * gx + gy * gy + gz * gz
+    }
+}
+
+/// Work accounting from one pruned-FPS run, for the MPU cycle model
+/// (`Mpu::fps_cycles_estimate_pruned`) and the bench trajectory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FpsWork {
+    /// Candidate points whose distance to a selected point was actually
+    /// evaluated (the pruned inner-loop trip count).
+    pub scanned: u64,
+    /// What a dense sweep would have evaluated: `n · (m − 1)`.
+    pub dense: u64,
+}
+
+/// Packs a running min-distance and original point index into the
+/// total-order arg-max key: `(dist² bits << 32) | (MAX − index)`, so
+/// `max` picks the greatest distance with ties to the **lowest** index —
+/// exactly the golden serial scan's selection policy. `dmin` is never
+/// NaN (updates are gated on `nd < dmin`), so bit order equals numeric
+/// order.
+fn fps_key(dmin: f32, index: u32) -> u64 {
+    ((dmin.to_bits() as u64) << 32) | u64::from(u32::MAX - index)
+}
+
+/// One worker's contiguous share of the pruned-FPS state: the running
+/// min-distances of its slot range plus the cached per-tile arg-max
+/// keys and upper bounds.
+struct FpsChunk<'a> {
+    index: &'a GridIndex,
+    /// First global slot of this chunk (`dmin[0]` is that slot).
+    slot_base: usize,
+    dmin: Vec<f32>,
+    tiles: Vec<FpsTile>,
+    /// Cached arg-max key of each tile — exact as long as the tile's
+    /// `dmin` entries are unchanged, which is precisely what the skip
+    /// condition proves.
+    keys: Vec<u64>,
+    scanned: u64,
+}
+
+impl<'a> FpsChunk<'a> {
+    /// Builds the chunk state over global slots `[lo, hi)`, cutting the
+    /// range into tiles of `tile_len` slots with member-point AABBs.
+    fn new(index: &'a GridIndex, lo: usize, hi: usize, tile_len: usize) -> Self {
+        let mut tiles = Vec::with_capacity((hi - lo).div_ceil(tile_len.max(1)));
+        let mut keys = Vec::with_capacity(tiles.capacity());
+        let mut s = lo;
+        while s < hi {
+            let e = (s + tile_len).min(hi);
+            let mut t = FpsTile {
+                start: s as u32,
+                end: e as u32,
+                lo: [f32::INFINITY; 3],
+                hi: [f32::NEG_INFINITY; 3],
+            };
+            let mut key = 0u64;
+            for j in s..e {
+                t.lo[0] = t.lo[0].min(index.xs[j]);
+                t.lo[1] = t.lo[1].min(index.ys[j]);
+                t.lo[2] = t.lo[2].min(index.zs[j]);
+                t.hi[0] = t.hi[0].max(index.xs[j]);
+                t.hi[1] = t.hi[1].max(index.ys[j]);
+                t.hi[2] = t.hi[2].max(index.zs[j]);
+                // All min-distances start at +∞, so the initial arg-max
+                // key of a tile is its lowest original index.
+                key = key.max(fps_key(f32::INFINITY, index.entries[j]));
+            }
+            tiles.push(t);
+            keys.push(key);
+            s = e;
+        }
+        FpsChunk {
+            index,
+            slot_base: lo,
+            dmin: vec![f32::INFINITY; hi - lo],
+            tiles,
+            keys,
+            scanned: 0,
+        }
+    }
+
+    /// One FPS iteration over this chunk with `q` the newly selected
+    /// point: per tile, either *prove* no min-distance can drop —
+    /// `gap²(q, tile) ≥ max dmin` means every update `nd < dmin` fails,
+    /// so the cached arg-max key stays exact — or scan the tile,
+    /// updating `dmin` and re-deriving the key. Returns the chunk's
+    /// arg-max key.
+    fn step(&mut self, q: Point3) -> u64 {
+        let idx = self.index;
+        let mut best = 0u64;
+        for (t, tile) in self.tiles.iter().enumerate() {
+            // The cached key's distance field *is* the tile's max dmin.
+            let ub = f32::from_bits((self.keys[t] >> 32) as u32);
+            if tile.gap2(q) >= ub {
+                best = best.max(self.keys[t]);
+                continue;
+            }
+            let mut tile_key = 0u64;
+            for s in tile.start as usize..tile.end as usize {
+                let dx = idx.xs[s] - q.x;
+                let dy = idx.ys[s] - q.y;
+                let dz = idx.zs[s] - q.z;
+                let nd = dx * dx + dy * dy + dz * dz;
+                let d = &mut self.dmin[s - self.slot_base];
                 if nd < *d {
                     *d = nd;
                 }
-                let key = ((d.to_bits() as u64) << 32) | u64::from(u32::MAX - i as u32);
-                if key > best_key {
-                    best_key = key;
-                }
+                tile_key = tile_key.max(fps_key(*d, idx.entries[s]));
             }
-            slot.store(best_key, Ordering::SeqCst);
-            barrier.wait();
-            let global = slots
-                .iter()
-                .map(|s| s.load(Ordering::SeqCst))
-                .max()
-                .expect("at least one worker slot");
-            current = (u32::MAX - (global & 0xFFFF_FFFF) as u32) as usize;
-            if let Some(sel) = record.as_deref_mut() {
-                sel.push(current);
-            }
-            // Keep slots stable until every worker has read them.
-            barrier.wait();
+            self.scanned += u64::from(tile.end - tile.start);
+            self.keys[t] = tile_key;
+            best = best.max(tile_key);
         }
-    };
+        best
+    }
+}
 
-    thread::scope(|scope| {
-        let mut chunks = dist.chunks_mut(chunk_len);
-        let first = chunks.next().expect("n > 0");
-        for (w, chunk) in chunks.enumerate() {
-            let base = (w + 1) * chunk_len;
-            let worker_loop = &worker_loop;
-            scope.spawn(move || worker_loop(base, chunk, None));
-        }
-        worker_loop(0, first, Some(&mut selected));
-    });
+/// Tile size for pruned FPS: ~√n slots balances the per-iteration tile
+/// sweep (`n / tile_len` bound checks) against the scan granularity.
+fn fps_tile_len(n: usize) -> usize {
+    ((n as f64).sqrt() as usize).clamp(16, 4096)
+}
+
+/// Bucket-pruned **exact** farthest point sampling over a prebuilt
+/// [`GridIndex`].
+///
+/// The running min-distance array lives in Morton slot order; tiles of
+/// ~√n consecutive slots cache their arg-max key (max dmin, ties to the
+/// lowest original index, packed by [`fps_key`]). Per iteration a tile
+/// whose AABB gap to the new point is ≥ its cached max dmin is skipped
+/// outright — the gap lower-bounds every new distance, so no update
+/// could fire and the cached key is still exact — and the global
+/// arg-max reduces over per-tile keys. Selection is therefore
+/// **bit-identical to [`golden::farthest_point_sampling`]** on every
+/// input (property-tested on adversarial clouds, including +∞
+/// coordinates, in `tests/mapping_backends.rs`); only the amount of
+/// scanned work changes, and that is reported in [`FpsWork`].
+pub fn fps_pruned_with_index(index: &GridIndex, m: usize) -> (Vec<usize>, FpsWork) {
+    let n = index.len();
+    let mut work =
+        FpsWork { scanned: 0, dense: (n as u64).saturating_mul(m.saturating_sub(1) as u64) };
+    if m == 0 || n == 0 {
+        return (Vec::new(), work);
+    }
+    let mut chunk = FpsChunk::new(index, 0, n, fps_tile_len(n));
+    let mut selected = Vec::with_capacity(m);
+    let mut current = 0usize;
+    selected.push(current);
+    for _ in 1..m {
+        let key = chunk.step(index.points[current]);
+        current = (u32::MAX - (key & 0xFFFF_FFFF) as u32) as usize;
+        selected.push(current);
+    }
+    work.scanned = chunk.scanned;
+    (selected, work)
+}
+
+/// [`fps_pruned_with_index`] over a bare cloud: builds the index first
+/// (`O(n)`, amortized over the `m` pruned iterations).
+pub fn fps_pruned(points: &PointSet, m: usize) -> (Vec<usize>, FpsWork) {
+    fps_pruned_with_index(&GridIndex::build(points.points()), m)
+}
+
+/// Exact chunk-parallel farthest point sampling: the pruned algorithm
+/// of [`fps_pruned_with_index`] with the Morton slot range split into
+/// per-worker chunks (tile boundaries never straddle chunks).
+///
+/// Each iteration is one persistent-pool round ([`parallel_map_with`]):
+/// every chunk updates its own tiles and returns its arg-max key, and
+/// the cross-chunk `max` over the ordered results implements exactly
+/// the serial scan's policy (greatest distance, ties to the lowest
+/// original index) — so the selection is bit-identical to golden for
+/// every worker count, and no barrier or thread spawn is involved.
+fn fps_parallel(points: &PointSet, m: usize, workers: usize) -> Vec<usize> {
+    let n = points.len();
+    if m == 0 || n == 0 {
+        return Vec::new();
+    }
+    let index = GridIndex::build(points.points());
+    let tile_len = fps_tile_len(n);
+    // Chunk boundaries in whole tiles, sized for `workers` chunks.
+    let tiles_total = n.div_ceil(tile_len);
+    let tiles_per_chunk = tiles_total.div_ceil(workers).max(1);
+    let mut chunks: Vec<Mutex<FpsChunk>> = Vec::new();
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + tiles_per_chunk * tile_len).min(n);
+        chunks.push(Mutex::new(FpsChunk::new(&index, lo, hi, tile_len)));
+        lo = hi;
+    }
+    let workers = chunks.len();
+    let mut selected = Vec::with_capacity(m);
+    let mut current = 0usize;
+    selected.push(current);
+    for _ in 1..m {
+        let q = index.points[current];
+        let keys = parallel_map_with(workers, &chunks, |c| lock(c).step(q));
+        let key = keys.into_iter().max().unwrap_or(0);
+        current = (u32::MAX - (key & 0xFFFF_FFFF) as u32) as usize;
+        selected.push(current);
+    }
     selected
 }
 
@@ -1772,6 +2002,76 @@ mod tests {
         // oversample the target, so exact runs instead.
         let pts = pseudo_points(4096, 31);
         assert_eq!(INDEXED.fps_approx(&pts, 3000), GOLDEN.farthest_point_sampling(&pts, 3000));
+    }
+
+    #[test]
+    fn pruned_fps_is_bit_identical_to_golden_and_prunes_work() {
+        let pts = pseudo_points(4096, 41);
+        for m in [1usize, 2, 37, 300] {
+            let (sel, work) = fps_pruned(&pts, m);
+            assert_eq!(sel, golden::farthest_point_sampling(&pts, m), "m={m}");
+            assert!(work.scanned <= work.dense, "m={m}: {work:?}");
+        }
+        // At a realistic sampling ratio the bound scan must actually
+        // prune: this cloud drops well below half the dense sweep.
+        let (_, work) = fps_pruned(&pts, 512);
+        assert!(work.scanned * 2 < work.dense, "no pruning happened: {work:?}");
+    }
+
+    #[test]
+    fn pruned_fps_handles_duplicate_and_degenerate_clouds() {
+        // All-identical points: every dmin collapses to 0 and golden
+        // re-selects index 0 forever — the packed key must reproduce it.
+        let dup: PointSet = (0..64).map(|_| Point3::new(1.0, 2.0, 3.0)).collect();
+        assert_eq!(fps_pruned(&dup, 5).0, golden::farthest_point_sampling(&dup, 5));
+        // Collinear cloud.
+        let line: PointSet = (0..257).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        assert_eq!(fps_pruned(&line, 31).0, golden::farthest_point_sampling(&line, 31));
+        // A +∞ coordinate: dmin stays +∞, its tile is never skipped, and
+        // golden keeps re-selecting it — exactness must survive.
+        let mut pts: Vec<Point3> =
+            (0..128).map(|i| Point3::new(i as f32, (i % 7) as f32, 0.0)).collect();
+        pts[17] = Point3::new(f32::INFINITY, 0.0, 0.0);
+        let inf: PointSet = pts.into_iter().collect();
+        assert_eq!(fps_pruned(&inf, 9).0, golden::farthest_point_sampling(&inf, 9));
+    }
+
+    #[test]
+    fn grid_index_bounds_match_point_set_bounds_through_deltas() {
+        let pts = pseudo_points(300, 8);
+        let mut idx = GridIndex::build(pts.points());
+        assert_eq!(idx.bounds(), pts.bounds());
+        assert_eq!(GridIndex::build(&[]).bounds(), None);
+        // Bounds stay tight through a patched delta (remove the current
+        // extremes, insert interior points).
+        let inserts = [Point3::new(0.1, 0.1, 0.1), Point3::new(0.2, 0.2, 0.2)];
+        idx.apply_delta(&[0, 7, 19], &inserts);
+        let live: PointSet = idx.points().iter().copied().collect();
+        assert_eq!(idx.bounds(), live.bounds());
+    }
+
+    #[test]
+    fn stratified_with_bounds_matches_the_scanning_entry() {
+        let pts = pseudo_points(4096, 55);
+        let bounds = pts.bounds().expect("non-empty");
+        assert_eq!(fps_stratified(&pts, 200), fps_stratified_with_bounds(&pts, 200, bounds));
+        let idx = GridIndex::build(pts.points());
+        assert_eq!(
+            fps_stratified_with_bounds(&pts, 200, idx.bounds().expect("non-empty")),
+            fps_stratified(&pts, 200),
+            "GridIndex bounds are a drop-in for the scan"
+        );
+    }
+
+    #[test]
+    fn build_with_bounds_is_identical_to_build() {
+        let pts = pseudo_points(500, 21);
+        let a = GridIndex::build(pts.points());
+        let b = GridIndex::build_with_bounds(pts.points(), pts.bounds().expect("non-empty"));
+        assert_eq!(a.bounds(), b.bounds());
+        let q = Point3::new(0.3, 0.4, 0.5);
+        assert_eq!(a.knn(q, 7), b.knn(q, 7));
+        assert_eq!(fps_pruned_with_index(&a, 64), fps_pruned_with_index(&b, 64));
     }
 
     #[test]

@@ -34,7 +34,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Denied (not forbidden) so the single audited lifetime erasure in the
+// `par` worker pool can carry an item-level allow; everything else in
+// the crate remains compiler-checked safe code.
+#![deny(unsafe_code)]
 
 mod cloud;
 mod coord;

@@ -17,6 +17,7 @@
 //! | `wall-clock` | no `Instant::now` / `SystemTime::now` outside `Clock` impls and the criterion shim — timing must flow through injectable clocks |
 //! | `unsafe` | no `unsafe` code anywhere (the workspace also denies it at the compiler level) |
 //! | `panic` | no `panic!` / `todo!` / `unimplemented!` in non-test library code — surface typed errors instead |
+//! | `thread-spawn` | no `thread::spawn` / `thread::scope` in non-test library code outside the `pointacc_geom::par` pool and the futures shim — the persistent pool is the single scheduler |
 //! | `allow-attr` | no `#[allow(` without a `// lint:` justification on the same or preceding line |
 //!
 //! # Allowlisting
@@ -29,10 +30,13 @@
 //! self.try_run(net, points).unwrap_or_else(|e| panic!("{e}"))
 //! ```
 //!
-//! Two designated files are allowlisted wholesale for one rule each:
-//! `crates/bench/src/lib.rs` for `env-var` (the read-once accessors)
-//! and `crates/shims/criterion/src/lib.rs` for `wall-clock` (the
-//! benchmark shim is a timing source by definition).
+//! A few designated files are allowlisted wholesale for one rule each:
+//! `crates/bench/src/lib.rs` for `env-var` (the read-once accessors),
+//! `crates/shims/criterion/src/lib.rs` for `wall-clock` (the benchmark
+//! shim is a timing source by definition), and `crates/geom/src/par.rs`
+//! plus `crates/shims/futures/src/lib.rs` for `thread-spawn` (the
+//! worker pool and the executor shim are the two legitimate thread
+//! sources).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -271,6 +275,10 @@ fn allowlisted(rule: &str, path: &str) -> bool {
     match rule {
         "env-var" => path.ends_with("crates/bench/src/lib.rs"),
         "wall-clock" => path.ends_with("crates/shims/criterion/src/lib.rs"),
+        "thread-spawn" => {
+            path.ends_with("crates/geom/src/par.rs")
+                || path.ends_with("crates/shims/futures/src/lib.rs")
+        }
         _ => false,
     }
 }
@@ -312,6 +320,14 @@ fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
                     idx,
                     "wall-clock",
                     "direct wall-clock read: route timing through an injectable Clock impl",
+                );
+            }
+            if line.contains("thread::spawn") || line.contains("thread::scope") {
+                push(
+                    idx,
+                    "thread-spawn",
+                    "thread creation outside the pointacc_geom::par pool: route parallelism \
+                     through parallel_map/parallel_map_with so workers are reused",
                 );
             }
             if word_hit(line, "panic!")
@@ -445,6 +461,21 @@ mod tests {
         let src = "fn f() {\n    let t = Instant::now();\n    let s = SystemTime::now();\n}\n";
         assert_eq!(rules(LIB, src), vec![("wall-clock", 2), ("wall-clock", 3)]);
         assert_eq!(rules("crates/shims/criterion/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn thread_spawn_flags_library_code_but_not_the_pool_or_tests() {
+        let src = "fn f() {\n    let h = std::thread::spawn(|| 1);\n    std::thread::scope(|s| { s.spawn(|| 2); });\n}\n";
+        assert_eq!(rules(LIB, src), vec![("thread-spawn", 2), ("thread-spawn", 3)]);
+        // The worker pool and the executor shim are the designated sites.
+        assert_eq!(rules("crates/geom/src/par.rs", src), vec![]);
+        assert_eq!(rules("crates/shims/futures/src/lib.rs", src), vec![]);
+        // Test-only helpers may spawn raw threads.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| 1).join().unwrap(); }\n}\n";
+        assert_eq!(rules(LIB, test_src), vec![]);
+        // A justified site passes with an explanatory comment.
+        let justified = "// lint: allow(thread-spawn): blocking queue workers, not map-shaped.\nfn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        assert_eq!(rules(LIB, justified), vec![]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! contract that lets the executor default to `Indexed` without
 //! perturbing traces, golden snapshots, or functional outputs.
 
-use pointacc_geom::index::{fps_stratified, MappingBackend, GOLDEN, INDEXED};
+use pointacc_geom::index::{fps_pruned, fps_stratified, MappingBackend, GOLDEN, INDEXED};
 use pointacc_geom::{Coord, Point3, PointSet, VoxelCloud};
 use proptest::prelude::*;
 
@@ -96,6 +96,91 @@ proptest! {
         let m = ((pts.len() as f64 * frac) as usize).min(pts.len());
         prop_assert_eq!(INDEXED.fps_approx(&pts, m), GOLDEN.farthest_point_sampling(&pts, m));
         prop_assert_eq!(GOLDEN.fps_approx(&pts, m), GOLDEN.farthest_point_sampling(&pts, m));
+    }
+
+    // The bucket-pruned exact FPS must match the golden serial scan
+    // bit-for-bit (selection, not tolerance) on the clouds that stress
+    // its tile bound the hardest: tight clusters (tiny gaps vs large
+    // in-tile dmin spread), collinear points (degenerate AABBs),
+    // duplicates (all-tie selection falls back to index order), and
+    // non-finite coordinates (the bound must refuse to skip tiles whose
+    // dmin stays +inf).
+
+    #[test]
+    fn pruned_fps_matches_golden_on_clustered_clouds(
+        centers in arb_points(1, 5),
+        jitter in prop::collection::vec((-0.05f32..0.05, -0.05f32..0.05, -0.05f32..0.05), 30..120),
+        frac in 0.0f64..1.0,
+    ) {
+        let pts: PointSet = jitter
+            .iter()
+            .enumerate()
+            .map(|(i, &(dx, dy, dz))| {
+                let c = centers.point(i % centers.len());
+                Point3::new(c.x + dx, c.y + dy, c.z + dz)
+            })
+            .collect();
+        let m = ((pts.len() as f64 * frac) as usize).min(pts.len());
+        prop_assert_eq!(fps_pruned(&pts, m).0, GOLDEN.farthest_point_sampling(&pts, m));
+    }
+
+    #[test]
+    fn pruned_fps_matches_golden_on_collinear_clouds(
+        spacings in prop::collection::vec(0.0f32..4.0, 2..150),
+        axis in 0usize..3,
+        frac in 0.0f64..1.0,
+    ) {
+        // Points on one axis, including coincident runs (zero spacing):
+        // every tile AABB collapses to a segment.
+        let mut t = 0.0f32;
+        let pts: PointSet = spacings
+            .iter()
+            .map(|&s| {
+                t += s;
+                match axis {
+                    0 => Point3::new(t, 0.0, 0.0),
+                    1 => Point3::new(0.0, t, 0.0),
+                    _ => Point3::new(0.0, 0.0, t),
+                }
+            })
+            .collect();
+        let m = ((pts.len() as f64 * frac) as usize).min(pts.len());
+        prop_assert_eq!(fps_pruned(&pts, m).0, GOLDEN.farthest_point_sampling(&pts, m));
+    }
+
+    #[test]
+    fn pruned_fps_matches_golden_on_duplicated_clouds(
+        uniques in arb_points(1, 6),
+        reps in 2usize..40,
+        frac in 0.0f64..1.0,
+    ) {
+        let pts: PointSet = (0..uniques.len() * reps)
+            .map(|i| uniques.point(i % uniques.len()))
+            .collect();
+        let m = ((pts.len() as f64 * frac) as usize).min(pts.len());
+        prop_assert_eq!(fps_pruned(&pts, m).0, GOLDEN.farthest_point_sampling(&pts, m));
+    }
+
+    #[test]
+    fn pruned_fps_matches_golden_with_infinite_coordinates(
+        base in arb_points(4, 100),
+        inf_at in prop::collection::vec((0usize..100, 0usize..3), 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        // Points at +inf keep their running dmin at +inf forever, so the
+        // tiles holding them must never be skipped.
+        let mut v: Vec<Point3> = base.points().to_vec();
+        for &(at, axis) in &inf_at {
+            let p = &mut v[at % base.len()];
+            match axis {
+                0 => p.x = f32::INFINITY,
+                1 => p.y = f32::INFINITY,
+                _ => p.z = f32::INFINITY,
+            }
+        }
+        let pts = PointSet::from_points(v);
+        let m = ((pts.len() as f64 * frac) as usize).min(pts.len());
+        prop_assert_eq!(fps_pruned(&pts, m).0, GOLDEN.farthest_point_sampling(&pts, m));
     }
 
     #[test]
